@@ -1,0 +1,85 @@
+// Command fusesim runs a single (L1D configuration, workload) simulation on
+// the paper's Fermi-class or Volta-class GPU model and prints a detailed
+// report: IPC, L1D miss rate, stall breakdown, predictor accuracy, off-chip
+// decomposition and the energy breakdown.
+//
+// Usage:
+//
+//	fusesim -config Dy-FUSE -workload ATAX
+//	fusesim -config L1-SRAM -workload GEMM -sms 4 -instructions 2000
+//	fusesim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fuse/internal/config"
+	"fuse/internal/energy"
+	"fuse/internal/sim"
+	"fuse/internal/trace"
+)
+
+func main() {
+	var (
+		configName   = flag.String("config", "Dy-FUSE", "L1D configuration (L1-SRAM, FA-SRAM, By-NVM, Hybrid, Base-FUSE, FA-FUSE, Dy-FUSE)")
+		workload     = flag.String("workload", "ATAX", "benchmark name (see -list)")
+		instructions = flag.Uint64("instructions", 1000, "instructions per warp")
+		sms          = flag.Int("sms", 0, "number of SMs to simulate (0 = full GPU)")
+		seed         = flag.Uint64("seed", 42, "workload generator seed")
+		volta        = flag.Bool("volta", false, "use the Volta-class GPU model (84 SMs, 6 MB L2, 128 KB L1)")
+		list         = flag.Bool("list", false, "list available workloads and configurations, then exit")
+		showEnergy   = flag.Bool("energy", true, "print the energy breakdown")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("L1D configurations:")
+		for _, k := range config.AllL1DKinds {
+			fmt.Printf("  %s\n", k)
+		}
+		fmt.Println("Workloads:")
+		for _, p := range trace.Profiles() {
+			fmt.Printf("  %-8s (%s, APKI %.1f): %s\n", p.Name, p.Suite, p.APKI, p.Description)
+		}
+		return
+	}
+
+	kind, err := config.ParseL1DKind(*configName)
+	if err != nil {
+		fatalf("unknown configuration %q: %v", *configName, err)
+	}
+	prof, ok := trace.ProfileByName(*workload)
+	if !ok {
+		fatalf("unknown workload %q (use -list to see the available ones)", *workload)
+	}
+
+	l1d := config.NewL1DConfig(kind)
+	var gpuCfg config.GPUConfig
+	if *volta {
+		gpuCfg = config.VoltaGPU(config.ScaleL1D(l1d, 4))
+	} else {
+		gpuCfg = config.FermiGPU(l1d)
+	}
+
+	opts := sim.Options{
+		InstructionsPerWarp: *instructions,
+		SMOverride:          *sms,
+		Seed:                *seed,
+	}
+	s, err := sim.New(gpuCfg, prof, opts)
+	if err != nil {
+		fatalf("building simulator: %v", err)
+	}
+	res := s.Run()
+	fmt.Print(res.String())
+	if *showEnergy {
+		fmt.Print(energy.FromResult(res, gpuCfg).String())
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "fusesim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,74 @@
+// Command fusetables regenerates the paper's tables and figures as text
+// tables. Each experiment is identified by the paper artefact it reproduces
+// (fig1, fig3, fig6, fig7, table1, table2, fig13, fig14, fig15, fig16, fig17,
+// fig18, fig19, fig20, table3).
+//
+// Usage:
+//
+//	fusetables -exp fig13                 # one figure, default scale
+//	fusetables -exp all -scale full       # everything, full 15-SM GPU
+//	fusetables -exp fig14 -workloads ATAX,BICG,GESUM
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"fuse/internal/experiments"
+)
+
+func main() {
+	var (
+		expName   = flag.String("exp", "all", "experiment to run (fig1...fig20, table1...table3, or 'all')")
+		scaleName = flag.String("scale", "bench", "simulation scale: quick, bench or full")
+		workloads = flag.String("workloads", "", "comma-separated workload subset (default: the experiment's own set)")
+		timing    = flag.Bool("time", false, "print wall-clock time per experiment")
+	)
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "quick":
+		scale = experiments.QuickScale
+	case "bench":
+		scale = experiments.BenchScale
+	case "full":
+		scale = experiments.FullScale
+	default:
+		fmt.Fprintf(os.Stderr, "fusetables: unknown scale %q (want quick, bench or full)\n", *scaleName)
+		os.Exit(1)
+	}
+
+	var subset []string
+	if *workloads != "" {
+		for _, w := range strings.Split(*workloads, ",") {
+			if w = strings.TrimSpace(w); w != "" {
+				subset = append(subset, w)
+			}
+		}
+	}
+
+	names := experiments.AllExperiments()
+	if *expName != "all" {
+		names = []string{*expName}
+	}
+
+	matrix := experiments.NewMatrix(scale)
+	for _, name := range names {
+		start := time.Now()
+		table, err := experiments.Run(matrix, name, subset)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fusetables: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(table.String())
+		if *timing {
+			fmt.Printf("[%s took %v, %d simulations cached]\n\n", name, time.Since(start).Round(time.Millisecond), matrix.Runs())
+		} else {
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,54 @@
+// Volta-scale study: does FUSE still pay off on a modern GPU with a much
+// larger, reconfigurable L1 (128 KB) and far more SMs? This example mirrors
+// the paper's Figure 19: it builds a Volta-class GPU model (84 SMs, 6 MB L2,
+// HBM2-class bandwidth), scales every L1D organisation to the 128 KB budget
+// and compares them on an irregular and a write-heavy workload.
+//
+// Run with:
+//
+//	go run ./examples/voltascale
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fuse/internal/config"
+	"fuse/internal/sim"
+	"fuse/internal/trace"
+)
+
+func main() {
+	workloads := []string{"ATAX", "2MM"}
+	kinds := []config.L1DKind{config.L1SRAM, config.ByNVM, config.BaseFUSE, config.DyFUSE}
+
+	// Simulate a slice of the 84 SMs; the memory side scales with it.
+	opts := sim.Options{InstructionsPerWarp: 500, SMOverride: 6, Seed: 5}
+
+	fmt.Println("=== Volta-class GPU (84 SMs, 6 MB L2, 128 KB L1 budget) ===")
+	for _, w := range workloads {
+		profile, ok := trace.ProfileByName(w)
+		if !ok {
+			log.Fatalf("workload %s not found", w)
+		}
+		fmt.Printf("\n%s:\n", w)
+		var base sim.Result
+		for i, kind := range kinds {
+			l1d := config.ScaleL1D(config.NewL1DConfig(kind), 4) // 4x the Fermi budget = 128 KB class
+			gpuCfg := config.VoltaGPU(l1d)
+			s, err := sim.New(gpuCfg, profile, opts)
+			if err != nil {
+				log.Fatalf("%s/%v: %v", w, kind, err)
+			}
+			res := s.Run()
+			if i == 0 {
+				base = res
+			}
+			fmt.Printf("  %-10s IPC %6.3f  (%.2fx vs L1-SRAM)  miss rate %.3f  L1D capacity %d KB\n",
+				kind.String(), res.IPC, res.SpeedupOver(base), res.L1DMissRate, l1d.TotalKB())
+		}
+	}
+	fmt.Println("\nEven with the 4x larger Volta L1 budget, the STT-MRAM-fused organisations keep")
+	fmt.Println("their advantage on the irregular workload, while the write-heavy workload shows")
+	fmt.Println("why the SRAM bank (and the read-level predictor steering writes into it) matters.")
+}

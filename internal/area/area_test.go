@@ -1,0 +1,92 @@
+package area
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestL1SRAMMatchesTableIII(t *testing.T) {
+	e := L1SRAM()
+	want := map[string]int{
+		"data array":      1572864,
+		"tag array":       32256,
+		"sense amplifier": 66880,
+		"write driver":    58520,
+		"comparator":      976,
+		"decoder":         1124,
+	}
+	for name, count := range want {
+		got, ok := e.Lookup(name)
+		if !ok {
+			t.Errorf("missing component %q", name)
+			continue
+		}
+		if got != count {
+			t.Errorf("%s = %d transistors, Table III says %d", name, got, count)
+		}
+	}
+	if e.Total() < 1_700_000 || e.Total() > 1_800_000 {
+		t.Errorf("L1-SRAM total %d out of the expected range", e.Total())
+	}
+}
+
+func TestDyFUSEMatchesTableIII(t *testing.T) {
+	e := DyFUSE()
+	want := map[string]int{
+		"data array":           1572864,
+		"tag array":            43776,
+		"sense amplifier":      48070,
+		"write driver":         45980,
+		"comparator":           1458,
+		"decoder":              1686,
+		"NVM-CBF":              10944,
+		"swap buffer":          3072,
+		"request queue":        15360,
+		"read-level predictor": 2320,
+	}
+	for name, count := range want {
+		got, ok := e.Lookup(name)
+		if !ok {
+			t.Errorf("missing component %q", name)
+			continue
+		}
+		if got != count {
+			t.Errorf("%s = %d transistors, Table III says %d", name, got, count)
+		}
+	}
+}
+
+func TestOverheadUnderOnePercent(t *testing.T) {
+	o := OverheadPercent()
+	if o <= 0 {
+		t.Errorf("Dy-FUSE adds structures, overhead should be positive, got %v", o)
+	}
+	if o > 1.0 {
+		t.Errorf("paper reports <0.7%% overhead; our estimate is %.2f%%", o)
+	}
+}
+
+func TestEstimateHelpers(t *testing.T) {
+	e := L1SRAM()
+	if _, ok := e.Lookup("flux capacitor"); ok {
+		t.Errorf("unknown component should not resolve")
+	}
+	s := e.String()
+	if !strings.Contains(s, "L1-SRAM") || !strings.Contains(s, "data array") {
+		t.Errorf("String should include the name and components:\n%s", s)
+	}
+	var empty Estimate
+	if empty.Total() != 0 {
+		t.Errorf("empty estimate should have zero total")
+	}
+}
+
+func TestDataArraysOccupySameArea(t *testing.T) {
+	// The premise of the whole design: 16KB SRAM + 64KB STT-MRAM fit in the
+	// same area as the original 32KB SRAM data array.
+	base, _ := L1SRAM().Lookup("data array")
+	fuse, _ := DyFUSE().Lookup("data array")
+	if base != fuse {
+		t.Errorf("hybrid data array (%d) should match the SRAM data array (%d)", fuse, base)
+	}
+}

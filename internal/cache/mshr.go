@@ -1,0 +1,197 @@
+package cache
+
+import (
+	"errors"
+
+	"fuse/internal/mem"
+)
+
+// DestBank identifies the cache bank a fill response should be steered to.
+// The paper extends the classic MSHR "destination bits" field with internal
+// cache bank IDs so that a fill can be routed to either the SRAM or the
+// STT-MRAM bank of the FUSE L1D.
+type DestBank uint8
+
+const (
+	// DestSRAM routes the fill to the SRAM bank.
+	DestSRAM DestBank = iota
+	// DestSTTMRAM routes the fill to the STT-MRAM bank.
+	DestSTTMRAM
+	// DestBypass indicates the data should be returned to the core without
+	// being allocated in the L1D (dead-write bypass or WORO blocks).
+	DestBypass
+)
+
+// String implements fmt.Stringer.
+func (d DestBank) String() string {
+	switch d {
+	case DestSRAM:
+		return "SRAM"
+	case DestSTTMRAM:
+		return "STT-MRAM"
+	case DestBypass:
+		return "bypass"
+	default:
+		return "unknown"
+	}
+}
+
+// ErrMSHRFull is returned when no primary-miss entry can be allocated.
+var ErrMSHRFull = errors.New("cache: MSHR full")
+
+// ErrMSHRMergeFull is returned when the primary miss exists but its merge
+// list is exhausted.
+var ErrMSHRMergeFull = errors.New("cache: MSHR merge list full")
+
+// MSHREntry tracks one outstanding primary miss and the secondary misses
+// merged into it.
+type MSHREntry struct {
+	Block   uint64
+	Primary mem.Request
+	Merged  []mem.Request
+	Dest    DestBank
+	// Level is the read level predicted for the block at miss time; the
+	// arbiter uses it when the fill returns.
+	Level mem.ReadLevel
+	// Issued marks whether the outgoing request has been handed to the
+	// interconnect yet.
+	Issued bool
+}
+
+// Requests returns the primary request followed by all merged requests.
+func (e *MSHREntry) Requests() []mem.Request {
+	out := make([]mem.Request, 0, 1+len(e.Merged))
+	out = append(out, e.Primary)
+	out = append(out, e.Merged...)
+	return out
+}
+
+// MSHR is a miss status holding register file: a bounded map from block
+// address to outstanding-miss entry with bounded merging.
+type MSHR struct {
+	maxEntries int
+	maxMerge   int
+	entries    map[uint64]*MSHREntry
+	// order preserves allocation order so that PopUnissued is fair.
+	order []uint64
+
+	peakOccupancy int
+	mergedCount   uint64
+	allocCount    uint64
+	fullStalls    uint64
+}
+
+// NewMSHR creates an MSHR with the given number of primary entries and
+// maximum merged requests per entry.
+func NewMSHR(entries, mergeWidth int) *MSHR {
+	if entries <= 0 {
+		entries = 1
+	}
+	if mergeWidth < 0 {
+		mergeWidth = 0
+	}
+	return &MSHR{
+		maxEntries: entries,
+		maxMerge:   mergeWidth,
+		entries:    make(map[uint64]*MSHREntry, entries),
+	}
+}
+
+// Capacity returns the number of primary entries.
+func (m *MSHR) Capacity() int { return m.maxEntries }
+
+// Occupancy returns the number of outstanding primary misses.
+func (m *MSHR) Occupancy() int { return len(m.entries) }
+
+// Full reports whether a new primary miss cannot be accepted.
+func (m *MSHR) Full() bool { return len(m.entries) >= m.maxEntries }
+
+// PeakOccupancy returns the maximum number of simultaneously outstanding
+// primary misses observed.
+func (m *MSHR) PeakOccupancy() int { return m.peakOccupancy }
+
+// Merged returns the number of secondary misses merged so far.
+func (m *MSHR) Merged() uint64 { return m.mergedCount }
+
+// Allocations returns the number of primary misses allocated so far.
+func (m *MSHR) Allocations() uint64 { return m.allocCount }
+
+// FullStalls returns how many allocation attempts failed because the MSHR (or
+// a merge list) was full.
+func (m *MSHR) FullStalls() uint64 { return m.fullStalls }
+
+// Lookup returns the entry for the block, if any.
+func (m *MSHR) Lookup(block uint64) (*MSHREntry, bool) {
+	e, ok := m.entries[block]
+	return e, ok
+}
+
+// Allocate records a miss for req's block. If an entry already exists the
+// request is merged (subject to the merge width); otherwise a new primary
+// entry is created with the given destination bank and read level.
+// The boolean result reports whether the request became a new primary miss
+// (true) or was merged (false).
+func (m *MSHR) Allocate(req mem.Request, dest DestBank, level mem.ReadLevel) (bool, error) {
+	block := req.BlockAddr()
+	if e, ok := m.entries[block]; ok {
+		if len(e.Merged) >= m.maxMerge {
+			m.fullStalls++
+			return false, ErrMSHRMergeFull
+		}
+		e.Merged = append(e.Merged, req)
+		m.mergedCount++
+		return false, nil
+	}
+	if m.Full() {
+		m.fullStalls++
+		return false, ErrMSHRFull
+	}
+	m.entries[block] = &MSHREntry{Block: block, Primary: req, Dest: dest, Level: level}
+	m.order = append(m.order, block)
+	m.allocCount++
+	if len(m.entries) > m.peakOccupancy {
+		m.peakOccupancy = len(m.entries)
+	}
+	return true, nil
+}
+
+// PopUnissued returns the oldest entry whose outgoing request has not yet
+// been sent to the lower level, marking it issued. It returns nil when every
+// outstanding miss has already been issued.
+func (m *MSHR) PopUnissued() *MSHREntry {
+	for _, block := range m.order {
+		e, ok := m.entries[block]
+		if ok && !e.Issued {
+			e.Issued = true
+			return e
+		}
+	}
+	return nil
+}
+
+// Release removes the entry for the block (on fill) and returns it. The
+// second result is false if no entry existed.
+func (m *MSHR) Release(block uint64) (*MSHREntry, bool) {
+	e, ok := m.entries[block]
+	if !ok {
+		return nil, false
+	}
+	delete(m.entries, block)
+	for i, b := range m.order {
+		if b == block {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	return e, true
+}
+
+// Reset clears all entries and statistics.
+func (m *MSHR) Reset() {
+	m.entries = make(map[uint64]*MSHREntry, m.maxEntries)
+	m.order = m.order[:0]
+	m.peakOccupancy = 0
+	m.mergedCount = 0
+	m.allocCount = 0
+	m.fullStalls = 0
+}

@@ -1,0 +1,178 @@
+package cache
+
+import (
+	"errors"
+	"testing"
+
+	"fuse/internal/mem"
+)
+
+func req(block int, kind mem.AccessKind) mem.Request {
+	return mem.Request{Addr: uint64(block) * mem.BlockSize, Kind: kind}
+}
+
+func TestMSHRAllocateAndMerge(t *testing.T) {
+	m := NewMSHR(2, 2)
+	if m.Capacity() != 2 || m.Occupancy() != 0 || m.Full() {
+		t.Fatalf("fresh MSHR state wrong")
+	}
+	primary, err := m.Allocate(req(1, mem.Read), DestSRAM, mem.WORM)
+	if err != nil || !primary {
+		t.Fatalf("first allocate: primary=%v err=%v", primary, err)
+	}
+	// Same block merges.
+	primary, err = m.Allocate(req(1, mem.Read), DestSRAM, mem.WORM)
+	if err != nil || primary {
+		t.Fatalf("second allocate should merge: primary=%v err=%v", primary, err)
+	}
+	if m.Merged() != 1 || m.Allocations() != 1 {
+		t.Errorf("merge accounting wrong: merged=%d alloc=%d", m.Merged(), m.Allocations())
+	}
+	e, ok := m.Lookup(mem.BlockAlign(uint64(mem.BlockSize)))
+	if !ok || len(e.Requests()) != 2 {
+		t.Errorf("entry should hold primary + 1 merged request")
+	}
+	// Third request to the same block exceeds merge width 2 after one more.
+	if _, err := m.Allocate(req(1, mem.Read), DestSRAM, mem.WORM); err != nil {
+		t.Fatalf("second merge should fit: %v", err)
+	}
+	if _, err := m.Allocate(req(1, mem.Read), DestSRAM, mem.WORM); !errors.Is(err, ErrMSHRMergeFull) {
+		t.Errorf("expected ErrMSHRMergeFull, got %v", err)
+	}
+	// A different block takes the second primary entry.
+	if _, err := m.Allocate(req(2, mem.Write), DestSTTMRAM, mem.WriteMultiple); err != nil {
+		t.Fatalf("second primary: %v", err)
+	}
+	if !m.Full() {
+		t.Errorf("MSHR should be full with 2 entries")
+	}
+	if _, err := m.Allocate(req(3, mem.Read), DestSRAM, mem.WORM); !errors.Is(err, ErrMSHRFull) {
+		t.Errorf("expected ErrMSHRFull, got %v", err)
+	}
+	if m.FullStalls() != 2 {
+		t.Errorf("FullStalls = %d, want 2", m.FullStalls())
+	}
+	if m.PeakOccupancy() != 2 {
+		t.Errorf("PeakOccupancy = %d, want 2", m.PeakOccupancy())
+	}
+}
+
+func TestMSHRPopUnissuedOrder(t *testing.T) {
+	m := NewMSHR(4, 4)
+	m.Allocate(req(1, mem.Read), DestSRAM, mem.WORM)
+	m.Allocate(req(2, mem.Read), DestSTTMRAM, mem.WORM)
+	m.Allocate(req(3, mem.Read), DestBypass, mem.WORO)
+	first := m.PopUnissued()
+	second := m.PopUnissued()
+	third := m.PopUnissued()
+	if first == nil || second == nil || third == nil {
+		t.Fatalf("expected three unissued entries")
+	}
+	if first.Block != req(1, mem.Read).BlockAddr() ||
+		second.Block != req(2, mem.Read).BlockAddr() ||
+		third.Block != req(3, mem.Read).BlockAddr() {
+		t.Errorf("PopUnissued should preserve allocation order")
+	}
+	if m.PopUnissued() != nil {
+		t.Errorf("all entries already issued")
+	}
+	if !first.Issued {
+		t.Errorf("popped entry should be marked issued")
+	}
+}
+
+func TestMSHRRelease(t *testing.T) {
+	m := NewMSHR(2, 2)
+	m.Allocate(req(7, mem.Read), DestSTTMRAM, mem.WORM)
+	block := req(7, mem.Read).BlockAddr()
+	e, ok := m.Release(block)
+	if !ok || e.Block != block || e.Dest != DestSTTMRAM || e.Level != mem.WORM {
+		t.Errorf("Release returned wrong entry: %+v ok=%v", e, ok)
+	}
+	if m.Occupancy() != 0 {
+		t.Errorf("occupancy after release = %d", m.Occupancy())
+	}
+	if _, ok := m.Release(block); ok {
+		t.Errorf("double release should fail")
+	}
+	// After release, the same block can allocate a fresh primary miss and
+	// PopUnissued sees it again.
+	m.Allocate(req(7, mem.Write), DestSRAM, mem.WriteMultiple)
+	if e := m.PopUnissued(); e == nil || e.Block != block {
+		t.Errorf("re-allocated entry should be unissued")
+	}
+}
+
+func TestMSHRReset(t *testing.T) {
+	m := NewMSHR(2, 1)
+	m.Allocate(req(1, mem.Read), DestSRAM, mem.WORM)
+	m.Allocate(req(1, mem.Read), DestSRAM, mem.WORM)
+	m.Reset()
+	if m.Occupancy() != 0 || m.Merged() != 0 || m.Allocations() != 0 || m.PeakOccupancy() != 0 {
+		t.Errorf("Reset should clear state and stats")
+	}
+	if m.PopUnissued() != nil {
+		t.Errorf("Reset should clear the issue queue")
+	}
+}
+
+func TestMSHRClampsBadArguments(t *testing.T) {
+	m := NewMSHR(0, -1)
+	if m.Capacity() != 1 {
+		t.Errorf("capacity should clamp to 1, got %d", m.Capacity())
+	}
+	if _, err := m.Allocate(req(1, mem.Read), DestSRAM, mem.WORM); err != nil {
+		t.Fatalf("allocate into clamped MSHR: %v", err)
+	}
+	// Merge width clamped to 0: merging is impossible.
+	if _, err := m.Allocate(req(1, mem.Read), DestSRAM, mem.WORM); !errors.Is(err, ErrMSHRMergeFull) {
+		t.Errorf("expected merge-full with zero merge width, got %v", err)
+	}
+}
+
+func TestDestBankString(t *testing.T) {
+	if DestSRAM.String() != "SRAM" || DestSTTMRAM.String() != "STT-MRAM" || DestBypass.String() != "bypass" {
+		t.Errorf("unexpected DestBank strings")
+	}
+	if DestBank(9).String() != "unknown" {
+		t.Errorf("unknown DestBank should render as unknown")
+	}
+}
+
+func TestVictimCache(t *testing.T) {
+	v := NewVictimCache(2)
+	if v.Capacity() != 2 {
+		t.Fatalf("capacity = %d", v.Capacity())
+	}
+	if _, hit := v.Probe(blockAddr(1)); hit {
+		t.Errorf("empty victim cache should miss")
+	}
+	v.Insert(blockAddr(1), 0, 0, true)
+	v.Insert(blockAddr(2), 0, 1, false)
+	if v.Occupancy() != 2 {
+		t.Errorf("occupancy = %d", v.Occupancy())
+	}
+	// Inserting a third displaces the oldest (FIFO).
+	displaced := v.Insert(blockAddr(3), 0, 2, false)
+	if !displaced.Valid || displaced.Block != blockAddr(1) {
+		t.Errorf("expected block 1 displaced, got %+v", displaced)
+	}
+	line, hit := v.Probe(blockAddr(2))
+	if !hit || line.Block != blockAddr(2) {
+		t.Errorf("probe of present block failed")
+	}
+	// A probe hit removes the line.
+	if _, hit := v.Probe(blockAddr(2)); hit {
+		t.Errorf("probe hit should remove the line")
+	}
+	if v.HitRate() <= 0 || v.HitRate() >= 1 {
+		t.Errorf("hit rate should be strictly between 0 and 1, got %v", v.HitRate())
+	}
+	if NewVictimCache(0).Capacity() != 1 {
+		t.Errorf("zero-capacity victim cache should clamp to 1")
+	}
+	empty := NewVictimCache(4)
+	if empty.HitRate() != 0 {
+		t.Errorf("hit rate of unused cache should be 0")
+	}
+}

@@ -1,0 +1,196 @@
+// Package cache provides the building blocks shared by every cache in the
+// simulated hierarchy: a set-associative/fully-associative tag store with
+// pluggable replacement policies, and a GPU-style miss status holding
+// register (MSHR) with destination bits and request merging.
+package cache
+
+import "fmt"
+
+// ReplacementKind selects the victim-selection policy of a tag store.
+type ReplacementKind uint8
+
+const (
+	// LRU evicts the least recently used way. The paper uses LRU for the
+	// SRAM banks and for the L2 cache.
+	LRU ReplacementKind = iota
+	// FIFO evicts the oldest-inserted way. The paper uses FIFO for the
+	// (approximately) fully-associative STT-MRAM bank because true LRU is
+	// not affordable at 512 ways.
+	FIFO
+	// PseudoLRU uses a binary-tree approximation of LRU, the usual
+	// compromise for moderately associative SRAM arrays.
+	PseudoLRU
+)
+
+// String implements fmt.Stringer.
+func (k ReplacementKind) String() string {
+	switch k {
+	case LRU:
+		return "LRU"
+	case FIFO:
+		return "FIFO"
+	case PseudoLRU:
+		return "PseudoLRU"
+	default:
+		return fmt.Sprintf("ReplacementKind(%d)", uint8(k))
+	}
+}
+
+// replacementState tracks per-set victim-selection state. It is sized for a
+// single set and embedded once per set in the tag store.
+type replacementState struct {
+	kind ReplacementKind
+	// order holds way indices from least to most recently used (LRU) or
+	// from oldest to newest insertion (FIFO).
+	order []int
+	// tree holds the pseudo-LRU decision bits (ways-1 internal nodes).
+	tree []bool
+	ways int
+}
+
+func newReplacementState(kind ReplacementKind, ways int) *replacementState {
+	s := &replacementState{kind: kind, ways: ways}
+	switch kind {
+	case LRU, FIFO:
+		s.order = make([]int, 0, ways)
+	case PseudoLRU:
+		s.tree = make([]bool, ways)
+	}
+	return s
+}
+
+// onInsert records that the given way was just filled.
+func (s *replacementState) onInsert(way int) {
+	switch s.kind {
+	case LRU, FIFO:
+		s.remove(way)
+		s.order = append(s.order, way)
+	case PseudoLRU:
+		s.touchTree(way)
+	}
+}
+
+// onAccess records a hit on the given way.
+func (s *replacementState) onAccess(way int) {
+	switch s.kind {
+	case LRU:
+		s.remove(way)
+		s.order = append(s.order, way)
+	case FIFO:
+		// FIFO ignores accesses.
+	case PseudoLRU:
+		s.touchTree(way)
+	}
+}
+
+// onInvalidate removes the way from the bookkeeping.
+func (s *replacementState) onInvalidate(way int) {
+	switch s.kind {
+	case LRU, FIFO:
+		s.remove(way)
+	case PseudoLRU:
+		// Nothing to do: invalid ways are preferred victims anyway.
+	}
+}
+
+func (s *replacementState) remove(way int) {
+	for i, w := range s.order {
+		if w == way {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// victim selects the way to evict among the given candidate ways (all valid).
+func (s *replacementState) victim(validWays []int) int {
+	if len(validWays) == 0 {
+		return 0
+	}
+	switch s.kind {
+	case LRU, FIFO:
+		inSet := make(map[int]bool, len(validWays))
+		for _, w := range validWays {
+			inSet[w] = true
+		}
+		for _, w := range s.order {
+			if inSet[w] {
+				return w
+			}
+		}
+		// Fall back to the first candidate if bookkeeping lost track.
+		return validWays[0]
+	case PseudoLRU:
+		return s.treeVictim(validWays)
+	default:
+		return validWays[0]
+	}
+}
+
+// touchTree flips the pseudo-LRU tree bits along the path to `way` so that
+// the path points away from it.
+func (s *replacementState) touchTree(way int) {
+	if s.ways <= 1 {
+		return
+	}
+	node := 1
+	// Walk from the root toward the leaf corresponding to `way`.
+	span := s.ways
+	lo := 0
+	for span > 1 {
+		half := span / 2
+		goRight := way >= lo+half
+		if node < len(s.tree) {
+			// Point the bit away from the accessed half.
+			s.tree[node] = !goRight
+		}
+		if goRight {
+			lo += half
+			node = node*2 + 1
+		} else {
+			node = node * 2
+		}
+		span = half
+	}
+}
+
+// treeVictim follows the pseudo-LRU bits to a leaf, then snaps to the nearest
+// candidate way.
+func (s *replacementState) treeVictim(validWays []int) int {
+	if s.ways <= 1 {
+		return validWays[0]
+	}
+	node := 1
+	lo := 0
+	span := s.ways
+	for span > 1 {
+		half := span / 2
+		right := false
+		if node < len(s.tree) {
+			right = s.tree[node]
+		}
+		if right {
+			lo += half
+			node = node*2 + 1
+		} else {
+			node = node * 2
+		}
+		span = half
+	}
+	// lo is the preferred victim; snap to the closest candidate.
+	best := validWays[0]
+	bestDist := abs(best - lo)
+	for _, w := range validWays[1:] {
+		if d := abs(w - lo); d < bestDist {
+			best, bestDist = w, d
+		}
+	}
+	return best
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,253 @@
+package cache
+
+import (
+	"fmt"
+
+	"fuse/internal/mem"
+)
+
+// Line is the metadata of one cache block. The simulator does not store data
+// contents, only the bookkeeping needed for timing and placement decisions.
+type Line struct {
+	// Valid marks the line as holding a block.
+	Valid bool
+	// Dirty marks the line as modified relative to the lower level.
+	Dirty bool
+	// Block is the block-aligned address held by the line.
+	Block uint64
+	// PC is the program counter of the instruction that allocated the
+	// line; the read-level predictor needs it on eviction.
+	PC uint64
+	// Level is the read level predicted at allocation time (used by
+	// Dy-FUSE to audit its predictions).
+	Level mem.ReadLevel
+	// InsertCycle and LastAccess are used for statistics and FIFO/LRU
+	// style diagnostics.
+	InsertCycle int64
+	LastAccess  int64
+	// Reads and Writes count accesses to the line since allocation; they
+	// drive predictor training and the Figure 16 accuracy accounting.
+	Reads  uint64
+	Writes uint64
+}
+
+// ResetCounters clears the per-lifetime access counters.
+func (l *Line) ResetCounters() {
+	l.Reads = 0
+	l.Writes = 0
+}
+
+// TagStore is a set-associative tag array. A fully-associative store is
+// simply a TagStore with a single set.
+type TagStore struct {
+	sets  int
+	ways  int
+	kind  ReplacementKind
+	lines [][]Line
+	repl  []*replacementState
+
+	// occupancy counts the number of valid lines.
+	occupancy int
+}
+
+// NewTagStore creates a tag store with the given geometry and replacement
+// policy. It panics on non-positive geometry, which always indicates a
+// configuration bug.
+func NewTagStore(sets, ways int, kind ReplacementKind) *TagStore {
+	if sets <= 0 || ways <= 0 {
+		panic(fmt.Sprintf("cache: invalid tag store geometry %dx%d", sets, ways))
+	}
+	t := &TagStore{sets: sets, ways: ways, kind: kind}
+	t.lines = make([][]Line, sets)
+	t.repl = make([]*replacementState, sets)
+	for s := 0; s < sets; s++ {
+		t.lines[s] = make([]Line, ways)
+		t.repl[s] = newReplacementState(kind, ways)
+	}
+	return t
+}
+
+// Sets returns the number of sets.
+func (t *TagStore) Sets() int { return t.sets }
+
+// Ways returns the associativity.
+func (t *TagStore) Ways() int { return t.ways }
+
+// Blocks returns the total number of lines.
+func (t *TagStore) Blocks() int { return t.sets * t.ways }
+
+// Occupancy returns the number of valid lines.
+func (t *TagStore) Occupancy() int { return t.occupancy }
+
+// FullyAssociative reports whether the store has a single set.
+func (t *TagStore) FullyAssociative() bool { return t.sets == 1 }
+
+// SetIndex maps a block address to its set.
+func (t *TagStore) SetIndex(block uint64) int {
+	return int(mem.BlockIndex(block)) % t.sets
+}
+
+// Lookup searches for the block and returns the line and its way index. The
+// returned pointer aliases the store; callers may update counters through it.
+// It does not update replacement state; use Touch for that.
+func (t *TagStore) Lookup(block uint64) (*Line, int, bool) {
+	set := t.SetIndex(block)
+	for w := range t.lines[set] {
+		l := &t.lines[set][w]
+		if l.Valid && l.Block == block {
+			return l, w, true
+		}
+	}
+	return nil, -1, false
+}
+
+// Probe reports whether the block is present without touching any state.
+func (t *TagStore) Probe(block uint64) bool {
+	_, _, hit := t.Lookup(block)
+	return hit
+}
+
+// Touch records a hit on the block at cycle now, updating the replacement
+// state and the line's counters.
+func (t *TagStore) Touch(block uint64, now int64, write bool) (*Line, bool) {
+	set := t.SetIndex(block)
+	for w := range t.lines[set] {
+		l := &t.lines[set][w]
+		if l.Valid && l.Block == block {
+			l.LastAccess = now
+			if write {
+				l.Writes++
+				l.Dirty = true
+			} else {
+				l.Reads++
+			}
+			t.repl[set].onAccess(w)
+			return l, true
+		}
+	}
+	return nil, false
+}
+
+// HasFreeWay reports whether the set for the given block has an invalid way.
+func (t *TagStore) HasFreeWay(block uint64) bool {
+	set := t.SetIndex(block)
+	for w := range t.lines[set] {
+		if !t.lines[set][w].Valid {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert allocates a line for the block, evicting a victim if necessary. The
+// returned evicted Line is a copy of the victim (Valid=false in the returned
+// copy means no eviction happened). The new line's counters reflect the
+// allocating access.
+func (t *TagStore) Insert(block uint64, pc uint64, now int64, write bool, level mem.ReadLevel) (evicted Line, line *Line) {
+	set := t.SetIndex(block)
+	way := -1
+	for w := range t.lines[set] {
+		if !t.lines[set][w].Valid {
+			way = w
+			break
+		}
+	}
+	if way < 0 {
+		valid := make([]int, 0, t.ways)
+		for w := range t.lines[set] {
+			valid = append(valid, w)
+		}
+		way = t.repl[set].victim(valid)
+		evicted = t.lines[set][way]
+		t.repl[set].onInvalidate(way)
+		t.occupancy--
+	}
+	l := &t.lines[set][way]
+	*l = Line{
+		Valid:       true,
+		Block:       block,
+		PC:          pc,
+		Level:       level,
+		InsertCycle: now,
+		LastAccess:  now,
+	}
+	if write {
+		l.Writes = 1
+		l.Dirty = true
+	} else {
+		l.Reads = 1
+	}
+	t.occupancy++
+	t.repl[set].onInsert(way)
+	return evicted, l
+}
+
+// Invalidate removes the block from the store and returns a copy of the line
+// it occupied (Valid reports whether anything was removed).
+func (t *TagStore) Invalidate(block uint64) Line {
+	set := t.SetIndex(block)
+	for w := range t.lines[set] {
+		l := &t.lines[set][w]
+		if l.Valid && l.Block == block {
+			old := *l
+			*l = Line{}
+			t.repl[set].onInvalidate(w)
+			t.occupancy--
+			return old
+		}
+	}
+	return Line{}
+}
+
+// VictimFor returns a copy of the line that would be evicted if the block
+// were inserted now, without modifying any state. Valid is false when the set
+// still has a free way.
+func (t *TagStore) VictimFor(block uint64) Line {
+	set := t.SetIndex(block)
+	for w := range t.lines[set] {
+		if !t.lines[set][w].Valid {
+			return Line{}
+		}
+	}
+	valid := make([]int, 0, t.ways)
+	for w := range t.lines[set] {
+		valid = append(valid, w)
+	}
+	way := t.repl[set].victim(valid)
+	return t.lines[set][way]
+}
+
+// ForEach calls fn for every valid line. Iteration order is deterministic
+// (set-major, way-minor).
+func (t *TagStore) ForEach(fn func(l *Line)) {
+	for s := range t.lines {
+		for w := range t.lines[s] {
+			if t.lines[s][w].Valid {
+				fn(&t.lines[s][w])
+			}
+		}
+	}
+}
+
+// SetOf returns the way slice of the set containing the given block. Exposed
+// for the associativity-approximation logic, which partitions the tag array
+// into CBF-indexed regions.
+func (t *TagStore) SetOf(block uint64) []Line {
+	return t.lines[t.SetIndex(block)]
+}
+
+// LinesInSet returns the line metadata of set s (aliasing internal storage).
+func (t *TagStore) LinesInSet(s int) []Line {
+	return t.lines[s]
+}
+
+// Reset invalidates every line.
+func (t *TagStore) Reset() {
+	for s := range t.lines {
+		for w := range t.lines[s] {
+			t.lines[s][w] = Line{}
+		}
+		t.repl[s] = newReplacementState(t.kind, t.ways)
+	}
+	t.occupancy = 0
+}

@@ -1,0 +1,244 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllL1DConfigsValidate(t *testing.T) {
+	for _, kind := range AllL1DKinds {
+		cfg := NewL1DConfig(kind)
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%v: %v", kind, err)
+		}
+		if cfg.Kind != kind {
+			t.Errorf("%v: Kind field = %v", kind, cfg.Kind)
+		}
+	}
+}
+
+func TestL1DKindString(t *testing.T) {
+	want := map[L1DKind]string{
+		L1SRAM:   "L1-SRAM",
+		FASRAM:   "FA-SRAM",
+		ByNVM:    "By-NVM",
+		Hybrid:   "Hybrid",
+		BaseFUSE: "Base-FUSE",
+		FAFUSE:   "FA-FUSE",
+		DyFUSE:   "Dy-FUSE",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if !strings.Contains(L1DKind(99).String(), "99") {
+		t.Errorf("unknown kind string should mention the value")
+	}
+}
+
+func TestParseL1DKind(t *testing.T) {
+	for _, k := range AllL1DKinds {
+		got, err := ParseL1DKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseL1DKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseL1DKind("nonsense"); err == nil {
+		t.Errorf("expected error for unknown name")
+	}
+}
+
+func TestTableICapacities(t *testing.T) {
+	l1 := NewL1DConfig(L1SRAM)
+	if l1.SRAMKB != 32 || l1.STTMRAMKB != 0 || l1.SRAMSets != 64 || l1.SRAMWays != 4 {
+		t.Errorf("L1-SRAM config mismatch: %+v", l1)
+	}
+	nvm := NewL1DConfig(ByNVM)
+	if nvm.STTMRAMKB != 128 || nvm.SRAMKB != 0 || !nvm.UseDeadWriteBypass {
+		t.Errorf("By-NVM config mismatch: %+v", nvm)
+	}
+	hy := NewL1DConfig(Hybrid)
+	if hy.SRAMKB != 16 || hy.STTMRAMKB != 64 || hy.SwapBufferEntries != 0 || hy.TagQueueEntries != 0 {
+		t.Errorf("Hybrid config mismatch: %+v", hy)
+	}
+	base := NewL1DConfig(BaseFUSE)
+	if base.SwapBufferEntries != 3 || base.TagQueueEntries != 16 || base.ApproxFullyAssociative {
+		t.Errorf("Base-FUSE config mismatch: %+v", base)
+	}
+	fa := NewL1DConfig(FAFUSE)
+	if !fa.ApproxFullyAssociative || fa.STTSets != 1 || fa.STTWays != 512 || fa.Comparators != 4 {
+		t.Errorf("FA-FUSE config mismatch: %+v", fa)
+	}
+	dy := NewL1DConfig(DyFUSE)
+	if !dy.UseReadLevelPredictor || !dy.ApproxFullyAssociative {
+		t.Errorf("Dy-FUSE config mismatch: %+v", dy)
+	}
+	if dy.CBFCount != 128 || dy.CBFHashes != 3 {
+		t.Errorf("Dy-FUSE CBF config mismatch: %+v", dy)
+	}
+}
+
+func TestBlocksArithmetic(t *testing.T) {
+	cfg := NewL1DConfig(DyFUSE)
+	if cfg.SRAMBlocks() != 128 {
+		t.Errorf("16KB SRAM should hold 128 blocks, got %d", cfg.SRAMBlocks())
+	}
+	if cfg.STTBlocks() != 512 {
+		t.Errorf("64KB STT-MRAM should hold 512 blocks, got %d", cfg.STTBlocks())
+	}
+	if cfg.TotalKB() != 80 {
+		t.Errorf("TotalKB = %d, want 80", cfg.TotalKB())
+	}
+}
+
+func TestValidateCatchesBrokenGeometry(t *testing.T) {
+	cfg := NewL1DConfig(L1SRAM)
+	cfg.SRAMSets = 63
+	if err := cfg.Validate(); err == nil {
+		t.Errorf("expected geometry error")
+	}
+	cfg = NewL1DConfig(DyFUSE)
+	cfg.STTWays = 17
+	if err := cfg.Validate(); err == nil {
+		t.Errorf("expected STT geometry error")
+	}
+	cfg = NewL1DConfig(L1SRAM)
+	cfg.MSHREntries = 0
+	if err := cfg.Validate(); err == nil {
+		t.Errorf("expected MSHR error")
+	}
+	cfg = NewL1DConfig(FAFUSE)
+	cfg.CBFCount = 0
+	if err := cfg.Validate(); err == nil {
+		t.Errorf("expected CBF parameter error")
+	}
+	cfg = L1DConfig{}
+	if err := cfg.Validate(); err == nil {
+		t.Errorf("expected zero-capacity error")
+	}
+	cfg = L1DConfig{SRAMKB: -1}
+	if err := cfg.Validate(); err == nil {
+		t.Errorf("expected negative-capacity error")
+	}
+}
+
+func TestWithRatio(t *testing.T) {
+	fracs := []float64{1.0 / 16, 1.0 / 8, 1.0 / 4, 1.0 / 2, 3.0 / 4}
+	prevTotal := 1 << 30
+	for _, f := range fracs {
+		cfg, err := WithRatio(DyFUSE, f)
+		if err != nil {
+			t.Fatalf("WithRatio(%v): %v", f, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("WithRatio(%v) invalid: %v", f, err)
+		}
+		// The area budget is fixed, so a larger SRAM fraction means a
+		// smaller total capacity.
+		if cfg.TotalKB() > prevTotal {
+			t.Errorf("total capacity should shrink as SRAM fraction grows: f=%v total=%d prev=%d",
+				f, cfg.TotalKB(), prevTotal)
+		}
+		prevTotal = cfg.TotalKB()
+		gotFrac := float64(cfg.SRAMKB) / float64(cfg.TotalKB())
+		if gotFrac < f*0.6 || gotFrac > f*1.5 {
+			t.Errorf("SRAM fraction %v far from requested %v", gotFrac, f)
+		}
+	}
+	if _, err := WithRatio(DyFUSE, 0); err == nil {
+		t.Errorf("expected error for zero fraction")
+	}
+	if _, err := WithRatio(DyFUSE, 1); err == nil {
+		t.Errorf("expected error for fraction of one")
+	}
+	if _, err := WithRatio(L1SRAM, 0.5); err == nil {
+		t.Errorf("expected error for non-hybrid kind")
+	}
+}
+
+func TestFermiGPUConfig(t *testing.T) {
+	g := FermiGPU(NewL1DConfig(DyFUSE))
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Fermi config invalid: %v", err)
+	}
+	if g.SMs != 15 || g.WarpsPerSM != 48 || g.ThreadsPerWarp != 32 {
+		t.Errorf("Fermi SM parameters mismatch: %+v", g)
+	}
+	if g.L2Banks != 12 || g.DRAMChannels != 6 {
+		t.Errorf("Fermi memory-side parameters mismatch: %+v", g)
+	}
+	if g.L2Banks%g.DRAMChannels != 0 {
+		t.Errorf("L2 banks must map evenly onto DRAM channels")
+	}
+	if g.TCL != 12 || g.TRCD != 12 || g.TRAS != 28 {
+		t.Errorf("DRAM timings mismatch: %+v", g)
+	}
+}
+
+func TestVoltaGPUConfig(t *testing.T) {
+	g := VoltaGPU(ScaleL1D(NewL1DConfig(DyFUSE), 2))
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Volta config invalid: %v", err)
+	}
+	if g.SMs != 84 {
+		t.Errorf("Volta should have 84 SMs, got %d", g.SMs)
+	}
+	if g.L2KBTotal != 6144 {
+		t.Errorf("Volta L2 should be 6 MB, got %d KB", g.L2KBTotal)
+	}
+}
+
+func TestGPUConfigValidateErrors(t *testing.T) {
+	g := FermiGPU(NewL1DConfig(L1SRAM))
+	g.SMs = 0
+	if err := g.Validate(); err == nil {
+		t.Errorf("expected SM count error")
+	}
+	g = FermiGPU(NewL1DConfig(L1SRAM))
+	g.L2Banks = 0
+	if err := g.Validate(); err == nil {
+		t.Errorf("expected L2 bank error")
+	}
+	g = FermiGPU(NewL1DConfig(L1SRAM))
+	g.L2Banks = 7
+	if err := g.Validate(); err == nil {
+		t.Errorf("expected divisibility error")
+	}
+}
+
+func TestScaleL1D(t *testing.T) {
+	base := NewL1DConfig(L1SRAM)
+	big := ScaleL1D(base, 4)
+	if big.SRAMKB != 128 || big.SRAMSets != 256 {
+		t.Errorf("ScaleL1D(4) = %+v", big)
+	}
+	if err := big.Validate(); err != nil {
+		t.Errorf("scaled config invalid: %v", err)
+	}
+	if got := ScaleL1D(base, 1); got.SRAMKB != base.SRAMKB {
+		t.Errorf("factor 1 should be identity")
+	}
+	// Scaling a fully-associative config keeps it fully associative.
+	fa := ScaleL1D(NewL1DConfig(FASRAM), 2)
+	if fa.SRAMSets != 1 || fa.SRAMWays != fa.SRAMBlocks() {
+		t.Errorf("scaled FA-SRAM should stay fully associative: %+v", fa)
+	}
+	dy := ScaleL1D(NewL1DConfig(DyFUSE), 2)
+	if dy.STTSets != 1 || dy.STTWays != dy.STTBlocks() {
+		t.Errorf("scaled Dy-FUSE STT bank should stay fully associative: %+v", dy)
+	}
+	if err := dy.Validate(); err != nil {
+		t.Errorf("scaled Dy-FUSE invalid: %v", err)
+	}
+}
+
+func TestOracleL1D(t *testing.T) {
+	o := OracleL1D()
+	if err := o.Validate(); err != nil {
+		t.Fatalf("oracle config invalid: %v", err)
+	}
+	if o.SRAMKB < 1024 {
+		t.Errorf("oracle cache should be large, got %d KB", o.SRAMKB)
+	}
+}

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"fmt"
+
+	"fuse/internal/config"
+)
+
+// New constructs the L1D cache described by the configuration. It returns an
+// error if the configuration fails validation.
+func New(cfg config.L1DConfig) (L1D, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	switch cfg.Kind {
+	case config.L1SRAM, config.FASRAM, config.ByNVM:
+		return newSimpleL1D(cfg), nil
+	case config.Hybrid, config.BaseFUSE, config.FAFUSE, config.DyFUSE:
+		return newHybridL1D(cfg), nil
+	default:
+		return nil, fmt.Errorf("core: unsupported L1D kind %v", cfg.Kind)
+	}
+}
+
+// MustNew is New but panics on error; convenient for tests and examples where
+// the configuration is a compile-time constant.
+func MustNew(cfg config.L1DConfig) L1D {
+	l1d, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return l1d
+}
+
+// NewKind builds the Table I configuration for the given kind and constructs
+// the corresponding cache.
+func NewKind(kind config.L1DKind) L1D {
+	return MustNew(config.NewL1DConfig(kind))
+}

@@ -1,0 +1,560 @@
+package core
+
+import (
+	"fuse/internal/cache"
+	"fuse/internal/config"
+	"fuse/internal/mem"
+	"fuse/internal/memtech"
+	"fuse/internal/predictor"
+)
+
+// HybridL1D is the heterogeneous SRAM + STT-MRAM L1D cache. Depending on its
+// configuration it models four of the paper's organisations:
+//
+//   - Hybrid: the two banks with no further optimisation. Every migration
+//     into the STT-MRAM bank blocks the whole cache for the duration of the
+//     STT-MRAM write.
+//   - Base-FUSE: adds the swap buffer and tag queue, making the STT-MRAM bank
+//     non-blocking.
+//   - FA-FUSE: additionally organises the STT-MRAM bank as an approximately
+//     fully-associative cache guarded by counting Bloom filters.
+//   - Dy-FUSE: additionally steers blocks with the read-level predictor.
+type HybridL1D struct {
+	cfg config.L1DConfig
+
+	sram     *cache.TagStore
+	stt      *cache.TagStore
+	sramBank *memtech.Bank
+	sttBank  *memtech.Bank
+	mshr     *cache.MSHR
+
+	swap   *SwapBuffer
+	queue  *TagQueue
+	approx *ApproxLogic
+	pred   *predictor.ReadLevelPredictor
+
+	// blockedUntil is the cycle until which the whole cache is blocked
+	// (Hybrid-style blocking migrations or tag-queue flushes).
+	blockedUntil int64
+
+	outgoing []mem.Request
+	stats    Stats
+
+	// DebugJudge, when non-nil, histograms judged predictions by
+	// "<level>/<outcome>" (temporary instrumentation).
+	DebugJudge map[string]int
+}
+
+// newHybridL1D builds a HybridL1D from a hybrid configuration.
+func newHybridL1D(cfg config.L1DConfig) *HybridL1D {
+	h := &HybridL1D{cfg: cfg}
+	h.sram = cache.NewTagStore(cfg.SRAMSets, cfg.SRAMWays, cache.LRU)
+	// The STT-MRAM bank uses FIFO replacement: true LRU is unaffordable at
+	// 512 ways (Section V, simulation methodology).
+	h.stt = cache.NewTagStore(cfg.STTSets, cfg.STTWays, cache.FIFO)
+	h.sramBank = memtech.NewBank("sram", cfg.SRAMTech)
+	h.sttBank = memtech.NewBank("stt-mram", cfg.STTTech)
+	h.mshr = cache.NewMSHR(cfg.MSHREntries, cfg.MSHRMergeWidth)
+	h.swap = NewSwapBuffer(cfg.SwapBufferEntries)
+	h.queue = NewTagQueue(cfg.TagQueueEntries)
+	if cfg.ApproxFullyAssociative {
+		h.approx = NewApproxLogic(cfg.STTBlocks(), cfg.CBFCount, cfg.CBFSlots, cfg.CBFHashes, cfg.Comparators)
+	}
+	if cfg.UseReadLevelPredictor {
+		h.pred = predictor.NewReadLevelPredictor(predictor.Config{
+			SamplerSets:     config.DefaultSamplerSets,
+			SamplerWays:     config.DefaultSamplerWays,
+			HistoryEntries:  config.DefaultHistoryEntries,
+			UnusedThreshold: config.DefaultUnusedThreshold,
+			InitialCounter:  config.DefaultPredictorInitValue,
+		})
+	}
+	return h
+}
+
+// Kind implements L1D.
+func (h *HybridL1D) Kind() config.L1DKind { return h.cfg.Kind }
+
+// Stats implements L1D.
+func (h *HybridL1D) Stats() *Stats { return &h.stats }
+
+// Banks implements L1D.
+func (h *HybridL1D) Banks() []*memtech.Bank { return []*memtech.Bank{h.sramBank, h.sttBank} }
+
+// Predictor exposes the read-level predictor (nil unless Dy-FUSE).
+func (h *HybridL1D) Predictor() *predictor.ReadLevelPredictor { return h.pred }
+
+// Approx exposes the associativity-approximation logic (nil unless FA/Dy-FUSE).
+func (h *HybridL1D) Approx() *ApproxLogic { return h.approx }
+
+// Swap exposes the swap buffer.
+func (h *HybridL1D) Swap() *SwapBuffer { return h.swap }
+
+// Queue exposes the tag queue.
+func (h *HybridL1D) Queue() *TagQueue { return h.queue }
+
+// nonBlocking reports whether the configuration has the swap buffer and tag
+// queue (Base-FUSE and above).
+func (h *HybridL1D) nonBlocking() bool {
+	return h.cfg.SwapBufferEntries > 0 && h.cfg.TagQueueEntries > 0
+}
+
+// predict returns the read level for the request's PC, whether the prediction
+// is confident, and whether prediction is enabled at all.
+func (h *HybridL1D) predict(pc uint64) (level mem.ReadLevel, neutral bool, enabled bool) {
+	if h.pred == nil {
+		return mem.WORM, true, false
+	}
+	return h.pred.Predict(pc), h.pred.Neutral(pc), true
+}
+
+// Access implements L1D. This is the arbitration logic of Figure 9: consult
+// the status of the SRAM bank, the STT-MRAM bank (through the approximation
+// logic when present) and the predictor, then steer the request.
+func (h *HybridL1D) Access(req mem.Request, now int64) AccessResult {
+	res := h.access(req, now)
+	// The predictor samples each accepted request exactly once: a rejected
+	// request will be retried by the SM, and observing the retry as well
+	// would make every stalled write look like a re-reference and poison
+	// the read-level history.
+	if h.pred != nil && res.Outcome != OutcomeStall {
+		h.pred.Observe(req)
+	}
+	return res
+}
+
+// access is the body of Access; it returns the outcome without touching the
+// predictor's sampler.
+func (h *HybridL1D) access(req mem.Request, now int64) AccessResult {
+	// A blocked cache (Hybrid migration or tag-queue flush in flight)
+	// rejects every request.
+	if now < h.blockedUntil {
+		h.stats.STTWriteStallCycles++
+		return AccessResult{Outcome: OutcomeStall}
+	}
+	write := req.Kind == mem.Write
+	block := req.BlockAddr()
+
+	h.stats.Accesses++
+	if write {
+		h.stats.Writes++
+	} else {
+		h.stats.Reads++
+	}
+
+	// 1. SRAM tag lookup: always single-cycle, always in parallel with the
+	// STT-MRAM search, so an SRAM hit terminates the STT-MRAM search.
+	if _, hit := h.sram.Touch(block, now, write); hit {
+		h.stats.Hits++
+		h.stats.SRAMHits++
+		done := h.sramBank.Access(now, write)
+		if write {
+			h.stats.SRAMWrites++
+		} else {
+			h.stats.SRAMReads++
+		}
+		return AccessResult{Outcome: OutcomeHit, Latency: int(done - now), Bank: cache.DestSRAM}
+	}
+
+	// 2. Swap buffer snoop: blocks in flight from SRAM to STT-MRAM are
+	// still logically present.
+	if h.swap.Lookup(block) {
+		h.stats.Hits++
+		h.stats.SwapHits++
+		if write {
+			// Pull the block back into SRAM: a write would otherwise
+			// chase the migration into the STT-MRAM bank.
+			dirty, _ := h.swap.Remove(block)
+			h.dropQueuedOp(block)
+			h.insertSRAM(block, req.PC, now, true, mem.WriteMultiple, dirty)
+			h.stats.MigrationsToSRAM++
+		}
+		done := h.sramBank.Access(now, write)
+		if write {
+			h.stats.SRAMWrites++
+		} else {
+			h.stats.SRAMReads++
+		}
+		return AccessResult{Outcome: OutcomeHit, Latency: int(done - now), Bank: cache.DestSRAM}
+	}
+
+	// 3. STT-MRAM tag search, through the approximation logic if present.
+	searchCycles := 0
+	mayHit := true
+	present := h.stt.Probe(block)
+	if h.approx != nil {
+		mayHit, searchCycles = h.approx.Lookup(block, present)
+		h.stats.TagSearchStallCycles += uint64(searchCycles)
+	}
+	if mayHit && present {
+		return h.sttHit(req, block, now, write, searchCycles)
+	}
+
+	// 4. Miss: decide the fill destination and allocate an MSHR entry.
+	return h.miss(req, block, now, write)
+}
+
+// sttHit services a request that hit in the STT-MRAM bank.
+func (h *HybridL1D) sttHit(req mem.Request, block uint64, now int64, write bool, searchCycles int) AccessResult {
+	if !write {
+		// Read hit: served at STT-MRAM read latency. Without a tag queue
+		// (Hybrid) a busy bank rejects the request; with one, the access
+		// is absorbed.
+		if !h.nonBlocking() && h.sttBank.Busy(now) {
+			h.stats.STTWriteStallCycles++
+			h.undoAccess(write)
+			return AccessResult{Outcome: OutcomeStall, Bank: cache.DestSTTMRAM}
+		}
+		h.stt.Touch(block, now, false)
+		h.stats.Hits++
+		h.stats.STTHits++
+		done := h.sttBank.Access(now, false)
+		h.stats.STTReads++
+		lat := int(done-now) + searchCycles
+		return AccessResult{Outcome: OutcomeHit, Latency: lat, Bank: cache.DestSTTMRAM}
+	}
+
+	// Write hit on STT-MRAM: the block was predicted WORM but is being
+	// updated (a misprediction, or simply WM data in a predictor-less
+	// configuration).
+	if h.nonBlocking() {
+		// Flush the tag queue, then migrate the block to SRAM where the
+		// write is cheap. The flush drains pending fills/migrations into
+		// the STT-MRAM bank first.
+		if !h.queue.Empty() {
+			h.stats.TagQueueFlushes++
+			h.drainQueue(now)
+		}
+		line := h.stt.Invalidate(block)
+		if h.approx != nil {
+			h.approx.Unregister(block)
+		}
+		h.sttBank.Access(now, false) // read the data out of the STT-MRAM array
+		h.stats.STTReads++
+		h.stats.MigrationsToSRAM++
+		h.insertSRAM(block, req.PC, now, true, mem.WriteMultiple, line.Dirty)
+		h.stats.Hits++
+		h.stats.STTHits++
+		done := h.sramBank.Access(now, true)
+		h.stats.SRAMWrites++
+		return AccessResult{Outcome: OutcomeHit, Latency: int(done-now) + searchCycles, Bank: cache.DestSRAM}
+	}
+
+	// Hybrid: the write goes straight into the STT-MRAM bank and blocks
+	// the cache for the full write latency.
+	if h.sttBank.Busy(now) {
+		h.stats.STTWriteStallCycles++
+		h.undoAccess(write)
+		return AccessResult{Outcome: OutcomeStall, Bank: cache.DestSTTMRAM}
+	}
+	h.stt.Touch(block, now, true)
+	h.stats.Hits++
+	h.stats.STTHits++
+	done := h.sttBank.Access(now, true)
+	h.stats.STTWrites++
+	h.blockedUntil = done
+	h.stats.STTWriteStallCycles += uint64(done - now - 1)
+	return AccessResult{Outcome: OutcomeHit, Latency: int(done - now), Bank: cache.DestSTTMRAM}
+}
+
+// undoAccess reverses the access counters when a request is rejected after
+// the initial accounting (the SM will retry it).
+func (h *HybridL1D) undoAccess(write bool) {
+	h.stats.Accesses--
+	if write {
+		h.stats.Writes--
+	} else {
+		h.stats.Reads--
+	}
+}
+
+// miss handles the cache-miss leg of the decision tree.
+func (h *HybridL1D) miss(req mem.Request, block uint64, now int64, write bool) AccessResult {
+	level, neutral, predicted := h.predict(req.PC)
+	dest := cache.DestSRAM
+	if predicted {
+		switch {
+		case level == mem.WORO && !neutral:
+			// Single-use data: do not pollute either bank.
+			dest = cache.DestBypass
+		case level == mem.WriteMultiple && !neutral:
+			dest = cache.DestSRAM
+		case level == mem.WORM && !neutral:
+			dest = cache.DestSTTMRAM
+		default:
+			// Neutral / read-intensive: prefer the STT-MRAM bank when it
+			// is organised as (approximately) fully associative, because
+			// capacity is what read-intensive data wants; otherwise SRAM.
+			if h.cfg.ApproxFullyAssociative {
+				dest = cache.DestSTTMRAM
+			}
+		}
+	}
+
+	if dest == cache.DestBypass {
+		h.stats.Bypasses++
+	} else {
+		h.stats.Misses++
+	}
+
+	primary, err := h.mshr.Allocate(req, dest, level)
+	if err != nil {
+		h.stats.MSHRStallEvents++
+		h.undoAccess(write)
+		if dest == cache.DestBypass {
+			h.stats.Bypasses--
+		} else {
+			h.stats.Misses--
+		}
+		return AccessResult{Outcome: OutcomeStall, Bank: dest}
+	}
+	if primary {
+		out := req
+		out.Addr = block
+		out.Kind = mem.Read
+		h.outgoing = append(h.outgoing, out)
+		h.stats.OutgoingRequests++
+		if dest == cache.DestBypass {
+			return AccessResult{Outcome: OutcomeBypass, Bank: dest}
+		}
+		return AccessResult{Outcome: OutcomeMiss, Bank: dest}
+	}
+	h.stats.MergedMiss++
+	return AccessResult{Outcome: OutcomeMissMerged, Bank: dest}
+}
+
+// Fill implements L1D: the MSHR's destination bits steer the returning block
+// into the SRAM bank, the STT-MRAM bank (via the tag queue when present) or
+// straight to the core (bypass).
+func (h *HybridL1D) Fill(block uint64, now int64) []mem.Request {
+	entry, ok := h.mshr.Release(block)
+	if !ok {
+		return nil
+	}
+	waiting := entry.Requests()
+	write := entry.Primary.Kind == mem.Write
+
+	switch entry.Dest {
+	case cache.DestBypass:
+		// Nothing to allocate.
+	case cache.DestSRAM:
+		h.insertSRAM(block, entry.Primary.PC, now, write, entry.Level, write)
+	case cache.DestSTTMRAM:
+		h.fillSTT(block, entry.Primary.PC, now, write, entry.Level)
+	}
+	return waiting
+}
+
+// insertSRAM allocates a block in the SRAM bank and handles the resulting
+// eviction according to the decision tree: WORO victims go to the L2, other
+// victims migrate to the STT-MRAM bank (through the swap buffer when
+// available, blocking the cache otherwise).
+func (h *HybridL1D) insertSRAM(block, pc uint64, now int64, write bool, level mem.ReadLevel, dirty bool) {
+	evicted, line := h.sram.Insert(block, pc, now, write, level)
+	if dirty {
+		line.Dirty = true
+	}
+	h.sramBank.Access(now, true)
+	h.stats.SRAMWrites++
+	if !evicted.Valid {
+		return
+	}
+	h.judgePrediction(evicted)
+
+	// Decide where the victim goes.
+	evictToL2 := false
+	if h.pred != nil {
+		lvl := h.pred.Predict(evicted.PC)
+		if lvl == mem.WORO && !h.pred.Neutral(evicted.PC) {
+			evictToL2 = true
+		}
+	}
+	if evictToL2 {
+		h.stats.EvictionsToL2++
+		if evicted.Dirty {
+			h.writeback(evicted, now)
+		}
+		return
+	}
+	h.migrateToSTT(evicted, now)
+}
+
+// migrateToSTT moves an SRAM victim into the STT-MRAM bank.
+func (h *HybridL1D) migrateToSTT(victim cache.Line, now int64) {
+	h.stats.MigrationsToSTT++
+	if h.nonBlocking() {
+		if h.swap.Insert(victim.Block, victim.PC, victim.Dirty) &&
+			h.queue.Push(TagOp{Kind: TagOpMigrate, Block: victim.Block, PC: victim.PC, Dirty: victim.Dirty, Level: victim.Level}) {
+			return
+		}
+		// Swap buffer or tag queue full: fall back to a blocking migration.
+		h.swap.Remove(victim.Block)
+		h.stats.StructuralStalls++
+	}
+	// Blocking migration (Hybrid, or FUSE under structural back-pressure):
+	// the whole cache stalls for the duration of the STT-MRAM write.
+	done := h.writeSTT(victim.Block, victim.PC, now, victim.Dirty, victim.Level)
+	h.blockedUntil = done
+	if done > now {
+		h.stats.STTWriteStallCycles += uint64(done - now)
+	}
+}
+
+// fillSTT places a block arriving from the L2 into the STT-MRAM bank.
+func (h *HybridL1D) fillSTT(block, pc uint64, now int64, write bool, level mem.ReadLevel) {
+	if h.nonBlocking() {
+		if h.queue.Push(TagOp{Kind: TagOpFill, Block: block, PC: pc, Dirty: write, Level: level}) {
+			// The fill is logically present once queued; park the data in
+			// the swap buffer so intervening reads hit. If the swap buffer
+			// is full the data waits only in the queue (reads will miss to
+			// the queue entry, which we treat as present via Contains).
+			h.swap.Insert(block, pc, write)
+			return
+		}
+		h.stats.StructuralStalls++
+	}
+	done := h.writeSTT(block, pc, now, write, level)
+	if !h.nonBlocking() {
+		h.blockedUntil = done
+		if done > now {
+			h.stats.STTWriteStallCycles += uint64(done - now)
+		}
+	}
+}
+
+// writeSTT performs the actual STT-MRAM array write for a fill or migration,
+// handling the eviction of the victim line.
+func (h *HybridL1D) writeSTT(block, pc uint64, now int64, dirty bool, level mem.ReadLevel) int64 {
+	evicted, line := h.stt.Insert(block, pc, now, false, level)
+	line.Dirty = dirty
+	done := h.sttBank.Access(now, true)
+	h.stats.STTWrites++
+	if h.approx != nil {
+		h.approx.Register(block)
+	}
+	if evicted.Valid {
+		h.judgePrediction(evicted)
+		if h.approx != nil {
+			h.approx.Unregister(evicted.Block)
+		}
+		h.stats.EvictionsToL2++
+		if evicted.Dirty {
+			h.writeback(evicted, now)
+		}
+	}
+	return done
+}
+
+// dropQueuedOp removes a pending tag-queue operation for the block (used when
+// a swap-buffer hit pulls the block back into SRAM before its migration
+// retired).
+func (h *HybridL1D) dropQueuedOp(block uint64) {
+	if h.queue.Empty() {
+		return
+	}
+	kept := make([]TagOp, 0, h.queue.Len())
+	for {
+		op, ok := h.queue.Pop()
+		if !ok {
+			break
+		}
+		if op.Block != block {
+			kept = append(kept, op)
+		}
+	}
+	for _, op := range kept {
+		h.queue.Push(op)
+	}
+}
+
+// drainQueue retires every pending tag-queue operation immediately (the
+// paper's flush-on-misprediction). The STT-MRAM bank time advances past all
+// the queued writes, and the cache blocks until it is done.
+func (h *HybridL1D) drainQueue(now int64) {
+	var last int64 = now
+	for {
+		op, ok := h.queue.Pop()
+		if !ok {
+			break
+		}
+		h.swap.Remove(op.Block)
+		last = h.writeSTT(op.Block, op.PC, now, op.Dirty, op.Level)
+	}
+	if last > now {
+		h.blockedUntil = last
+		h.stats.STTWriteStallCycles += uint64(last - now)
+	}
+}
+
+// judgePrediction audits the read-level prediction recorded on an evicted
+// line against its observed lifetime (Figure 16).
+func (h *HybridL1D) judgePrediction(line cache.Line) {
+	if h.pred == nil || !line.Valid {
+		return
+	}
+	outcome := predictor.Judge(line.Level, line.Level == mem.ReadIntensive, line.Writes)
+	if h.DebugJudge != nil {
+		h.DebugJudge[line.Level.String()+"/"+outcome.String()]++
+	}
+	h.stats.Accuracy.Record(outcome)
+}
+
+// writeback queues a dirty eviction toward the L2.
+func (h *HybridL1D) writeback(line cache.Line, now int64) {
+	h.stats.Writebacks++
+	h.stats.OutgoingRequests++
+	h.outgoing = append(h.outgoing, mem.Request{
+		Addr:  line.Block,
+		PC:    line.PC,
+		Kind:  mem.Write,
+		Size:  mem.BlockSize,
+		Issue: now,
+	})
+}
+
+// PopOutgoing implements L1D.
+func (h *HybridL1D) PopOutgoing() (mem.Request, bool) {
+	if len(h.outgoing) == 0 {
+		return mem.Request{}, false
+	}
+	req := h.outgoing[0]
+	h.outgoing = h.outgoing[1:]
+	return req, true
+}
+
+// Tick implements L1D: it retires pending tag-queue operations whenever the
+// STT-MRAM bank is free, which is what makes the FUSE configurations
+// non-blocking. Each retirement occupies the bank for a full STT-MRAM write,
+// so at most one operation drains per write latency; the loop exists so that
+// a simulator that fast-forwards over idle cycles still retires the right
+// number of operations.
+func (h *HybridL1D) Tick(now int64) {
+	if h.queue == nil {
+		return
+	}
+	for !h.queue.Empty() && !h.sttBank.Busy(now) {
+		op, _ := h.queue.Pop()
+		h.swap.Remove(op.Block)
+		h.writeSTT(op.Block, op.PC, now, op.Dirty, op.Level)
+	}
+}
+
+// Reset implements L1D.
+func (h *HybridL1D) Reset() {
+	h.sram.Reset()
+	h.stt.Reset()
+	h.sramBank.Reset()
+	h.sttBank.Reset()
+	h.mshr.Reset()
+	h.swap.Reset()
+	h.queue.Reset()
+	if h.approx != nil {
+		h.approx.Reset()
+	}
+	if h.pred != nil {
+		h.pred.Reset()
+	}
+	h.blockedUntil = 0
+	h.outgoing = nil
+	h.stats = Stats{}
+}

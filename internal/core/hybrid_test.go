@@ -1,0 +1,466 @@
+package core
+
+import (
+	"testing"
+
+	"fuse/internal/cache"
+	"fuse/internal/config"
+	"fuse/internal/mem"
+)
+
+func newHybridKind(kind config.L1DKind) *HybridL1D {
+	return MustNew(config.NewL1DConfig(kind)).(*HybridL1D)
+}
+
+func TestHybridMissFillHit(t *testing.T) {
+	h := newHybridKind(config.BaseFUSE)
+	if h.Kind() != config.BaseFUSE {
+		t.Fatalf("Kind = %v", h.Kind())
+	}
+	res := h.Access(readReq(1, 0x40, 0), 0)
+	if res.Outcome != OutcomeMiss {
+		t.Fatalf("cold access should miss, got %v", res.Outcome)
+	}
+	if n := fillAll(h, 50); n != 1 {
+		t.Fatalf("expected one fill, got %d", n)
+	}
+	res = h.Access(readReq(1, 0x40, 0), 60)
+	if res.Outcome != OutcomeHit {
+		t.Errorf("post-fill access should hit, got %v", res.Outcome)
+	}
+	if len(h.Banks()) != 2 {
+		t.Errorf("hybrid cache should expose two banks")
+	}
+}
+
+func TestHybridBlockingMigrationStallsCache(t *testing.T) {
+	// The plain Hybrid configuration has no swap buffer or tag queue, so an
+	// SRAM eviction that migrates into the STT-MRAM bank blocks the cache.
+	cfg := config.NewL1DConfig(config.Hybrid)
+	// Shrink the SRAM bank so evictions happen immediately: 2 sets x 2 ways.
+	cfg.SRAMKB = 1
+	cfg.SRAMSets = 4
+	cfg.SRAMWays = 2
+	h := MustNew(cfg).(*HybridL1D)
+
+	now := int64(0)
+	// Fill more blocks (same SRAM set) than SRAM can hold; every fill goes
+	// to SRAM first and the evictions migrate to STT-MRAM, blocking.
+	for i := 0; i < 6; i++ {
+		block := 4 * i // all map to SRAM set 0
+		res := h.Access(readReq(block, 0x40, 0), now)
+		if res.Outcome == OutcomeStall {
+			now += 10
+			continue
+		}
+		fillAll(h, now+1)
+		now += 10
+	}
+	if h.Stats().MigrationsToSTT == 0 {
+		t.Fatalf("expected SRAM evictions to migrate to STT-MRAM")
+	}
+	if h.Stats().STTWriteStallCycles == 0 {
+		t.Errorf("blocking migrations should accumulate STT write stall cycles")
+	}
+	// An access issued while the cache is blocked must stall.
+	h.blockedUntil = now + 100
+	if res := h.Access(readReq(999, 0x40, 0), now); res.Outcome != OutcomeStall {
+		t.Errorf("access to a blocked cache should stall, got %v", res.Outcome)
+	}
+}
+
+func TestBaseFUSENonBlockingMigration(t *testing.T) {
+	// Base-FUSE absorbs the same migrations in the swap buffer + tag queue,
+	// so the cache does not block.
+	cfg := config.NewL1DConfig(config.BaseFUSE)
+	cfg.SRAMKB = 1
+	cfg.SRAMSets = 4
+	cfg.SRAMWays = 2
+	h := MustNew(cfg).(*HybridL1D)
+
+	now := int64(0)
+	stalls := 0
+	for i := 0; i < 5; i++ {
+		block := 4 * i
+		res := h.Access(readReq(block, 0x40, 0), now)
+		if res.Outcome == OutcomeStall {
+			stalls++
+		} else {
+			fillAll(h, now+1)
+		}
+		h.Tick(now + 2)
+		now += 10
+	}
+	if stalls != 0 {
+		t.Errorf("Base-FUSE should not stall on migrations that fit the swap buffer, got %d stalls", stalls)
+	}
+	if h.Stats().MigrationsToSTT == 0 {
+		t.Errorf("expected migrations to STT-MRAM")
+	}
+	if h.Swap().Inserts() == 0 {
+		t.Errorf("migrations should pass through the swap buffer")
+	}
+	if h.Queue().Pushes() == 0 {
+		t.Errorf("migrations should be queued as F commands")
+	}
+}
+
+func TestSwapBufferHitWhileMigrationPending(t *testing.T) {
+	cfg := config.NewL1DConfig(config.BaseFUSE)
+	cfg.SRAMKB = 1
+	cfg.SRAMSets = 4
+	cfg.SRAMWays = 2
+	h := MustNew(cfg).(*HybridL1D)
+
+	now := int64(0)
+	// Fill three blocks in the same SRAM set; the first eviction parks in
+	// the swap buffer (no Tick, so the migration has not retired yet).
+	for i := 0; i < 3; i++ {
+		h.Access(readReq(4*i, 0x40, 0), now)
+		fillAll(h, now+1)
+		now += 5
+	}
+	if h.Swap().Occupancy() == 0 {
+		t.Fatalf("expected a block parked in the swap buffer")
+	}
+	// The evicted block (0) should still hit via the swap buffer snoop.
+	res := h.Access(readReq(0, 0x40, 0), now)
+	if res.Outcome != OutcomeHit {
+		t.Errorf("swap-buffer resident block should hit, got %v", res.Outcome)
+	}
+	if h.Stats().SwapHits == 0 {
+		t.Errorf("swap hits should be counted")
+	}
+}
+
+func TestTagQueueTickRetiresMigrations(t *testing.T) {
+	cfg := config.NewL1DConfig(config.BaseFUSE)
+	cfg.SRAMKB = 1
+	cfg.SRAMSets = 4
+	cfg.SRAMWays = 2
+	h := MustNew(cfg).(*HybridL1D)
+	now := int64(0)
+	for i := 0; i < 4; i++ {
+		h.Access(readReq(4*i, 0x40, 0), now)
+		fillAll(h, now+1)
+		now += 5
+	}
+	queued := h.Queue().Len()
+	if queued == 0 {
+		t.Fatalf("expected queued migrations")
+	}
+	// Tick until the queue drains; each retirement needs the bank free.
+	for i := 0; i < 100 && !h.Queue().Empty(); i++ {
+		h.Tick(now)
+		now += 2
+	}
+	if !h.Queue().Empty() {
+		t.Errorf("tag queue should drain via Tick")
+	}
+	if h.Stats().STTWrites == 0 {
+		t.Errorf("retired migrations should write the STT-MRAM bank")
+	}
+	// The migrated block is now an STT-MRAM hit.
+	res := h.Access(readReq(0, 0x40, 0), now+10)
+	if res.Outcome != OutcomeHit || res.Bank != cache.DestSTTMRAM {
+		t.Errorf("migrated block should hit in STT-MRAM, got %+v", res)
+	}
+	if h.Stats().STTHits == 0 {
+		t.Errorf("STT hits should be counted")
+	}
+}
+
+func TestWriteHitOnSTTMigratesBackToSRAM(t *testing.T) {
+	h := newHybridKind(config.DyFUSE)
+	now := int64(0)
+	// Fill a block and force it into the STT-MRAM bank by making the
+	// predictor see it as WORM-ish: with an untrained (neutral) predictor
+	// and the approximately fully-associative bank, fills go to STT-MRAM.
+	res := h.Access(readReq(7, 0x40, 0), now)
+	if res.Outcome != OutcomeMiss {
+		t.Fatalf("expected miss, got %v", res.Outcome)
+	}
+	fillAll(h, now+1)
+	// Drain the tag queue so the block actually lands in the STT array.
+	for i := 0; i < 50; i++ {
+		h.Tick(now + int64(i) + 2)
+	}
+	if !h.stt.Probe(mem.BlockAlign(7 * mem.BlockSize)) {
+		t.Fatalf("block should reside in the STT-MRAM bank")
+	}
+	// Now write to it: the controller must migrate it to SRAM.
+	res = h.Access(writeReq(7, 0x44, 0), now+100)
+	if res.Outcome != OutcomeHit || res.Bank != cache.DestSRAM {
+		t.Errorf("write hit on STT-MRAM should be served from SRAM after migration, got %+v", res)
+	}
+	if h.Stats().MigrationsToSRAM == 0 {
+		t.Errorf("migration to SRAM should be counted")
+	}
+	if h.stt.Probe(mem.BlockAlign(7 * mem.BlockSize)) {
+		t.Errorf("block should have been invalidated in the STT-MRAM bank")
+	}
+	if !h.sram.Probe(mem.BlockAlign(7 * mem.BlockSize)) {
+		t.Errorf("block should now reside in SRAM")
+	}
+}
+
+func TestWriteHitFlushesNonEmptyTagQueue(t *testing.T) {
+	// Dy-FUSE routes neutral (untrained) fills into the STT-MRAM bank via
+	// the tag queue, which is what this test needs pending entries for.
+	h := newHybridKind(config.DyFUSE)
+	now := int64(0)
+	// Land block A in the STT-MRAM bank.
+	h.Access(readReq(11, 0x40, 0), now)
+	fillAll(h, now+1)
+	for i := 0; i < 20; i++ {
+		h.Tick(now + 2 + int64(i))
+	}
+	// Queue another fill (block B) without draining it.
+	h.Access(readReq(12, 0x40, 0), now+50)
+	fillAll(h, now+51)
+	if h.Queue().Empty() {
+		t.Fatalf("expected a pending fill in the tag queue")
+	}
+	// Write to block A: the controller flushes the queue first.
+	res := h.Access(writeReq(11, 0x44, 0), now+60)
+	if res.Outcome != OutcomeHit {
+		t.Fatalf("expected hit, got %v", res.Outcome)
+	}
+	if h.Stats().TagQueueFlushes == 0 {
+		t.Errorf("tag queue flush should be counted")
+	}
+	if !h.Queue().Empty() {
+		t.Errorf("queue should be empty after the flush")
+	}
+}
+
+func TestDyFUSEPlacesWMInSRAMAfterTraining(t *testing.T) {
+	h := newHybridKind(config.DyFUSE)
+	pc := uint64(0xA00)
+	now := int64(0)
+	// Train: a small set of blocks written repeatedly from a sampled warp.
+	for round := 0; round < 30; round++ {
+		for b := 0; b < 4; b++ {
+			res := h.Access(writeReq(200+b, pc, 0), now)
+			if res.Outcome == OutcomeMiss || res.Outcome == OutcomeBypass {
+				fillAll(h, now+1)
+			}
+			h.Tick(now + 2)
+			now += 5
+		}
+	}
+	if h.Predictor() == nil {
+		t.Fatalf("Dy-FUSE must have a read-level predictor")
+	}
+	if got := h.Predictor().Predict(pc); got != mem.WriteMultiple {
+		t.Fatalf("predictor should have learned WM for pc %#x, got %v", pc, got)
+	}
+	// A new block from the same PC must be steered to SRAM.
+	res := h.Access(writeReq(999, pc, 0), now)
+	if res.Outcome != OutcomeMiss {
+		t.Fatalf("expected a miss for the new block, got %v", res.Outcome)
+	}
+	if res.Bank != cache.DestSRAM {
+		t.Errorf("WM-predicted block should be destined for SRAM, got %v", res.Bank)
+	}
+}
+
+func TestDyFUSEBypassesWOROAfterTraining(t *testing.T) {
+	h := newHybridKind(config.DyFUSE)
+	pc := uint64(0xC00)
+	now := int64(0)
+	// Train: streaming blocks never reused.
+	for i := 0; i < 600; i++ {
+		res := h.Access(readReq(5000+i, pc, 0), now)
+		if res.Outcome == OutcomeMiss || res.Outcome == OutcomeBypass {
+			fillAll(h, now+1)
+		}
+		h.Tick(now + 2)
+		now += 5
+	}
+	if got := h.Predictor().Predict(pc); got != mem.WORO {
+		t.Fatalf("predictor should have learned WORO, got %v (counter=%d)", got, h.Predictor().CounterOf(pc))
+	}
+	res := h.Access(readReq(99999, pc, 0), now)
+	if res.Outcome != OutcomeBypass || res.Bank != cache.DestBypass {
+		t.Errorf("WORO-predicted block should bypass the L1D, got %+v", res)
+	}
+	if h.Stats().Bypasses == 0 {
+		t.Errorf("bypasses should be counted")
+	}
+}
+
+func TestFAFUSECapturesConflictingBlocks(t *testing.T) {
+	// Blocks that conflict in the 2-way set-associative STT bank of
+	// Base-FUSE fit in the approximately fully-associative bank of FA-FUSE.
+	run := func(kind config.L1DKind) uint64 {
+		h := newHybridKind(kind)
+		now := int64(0)
+		// 16 blocks that all map to the same STT-MRAM set in the 256-set
+		// organisation (stride 256), accessed repeatedly.
+		for round := 0; round < 6; round++ {
+			for i := 0; i < 16; i++ {
+				block := 256 * i
+				res := h.Access(readReq(block, 0x40, 0), now)
+				if res.Outcome == OutcomeMiss || res.Outcome == OutcomeBypass {
+					fillAll(h, now+1)
+				}
+				h.Tick(now + 2)
+				h.Tick(now + 4)
+				now += 10
+			}
+		}
+		return h.Stats().Misses
+	}
+	missBase := run(config.BaseFUSE)
+	missFA := run(config.FAFUSE)
+	if missFA >= missBase {
+		t.Errorf("FA-FUSE should take fewer conflict misses than Base-FUSE: FA=%d Base=%d", missFA, missBase)
+	}
+}
+
+func TestFAFUSETagSearchCyclesCounted(t *testing.T) {
+	h := newHybridKind(config.FAFUSE)
+	now := int64(0)
+	for i := 0; i < 20; i++ {
+		res := h.Access(readReq(i, 0x40, 0), now)
+		if res.Outcome == OutcomeMiss {
+			fillAll(h, now+1)
+		}
+		h.Tick(now + 2)
+		now += 5
+	}
+	if h.Approx() == nil {
+		t.Fatalf("FA-FUSE must have approximation logic")
+	}
+	if h.Stats().TagSearchStallCycles == 0 {
+		t.Errorf("tag search cycles should be accumulated")
+	}
+	if h.Approx().AverageSearchCycles() <= 0 {
+		t.Errorf("average search cycles should be positive")
+	}
+}
+
+func TestHybridMSHRStallDoesNotCorruptStats(t *testing.T) {
+	cfg := config.NewL1DConfig(config.DyFUSE)
+	cfg.MSHREntries = 1
+	cfg.MSHRMergeWidth = 0
+	h := MustNew(cfg).(*HybridL1D)
+	if res := h.Access(readReq(1, 0x40, 0), 0); res.Outcome != OutcomeMiss {
+		t.Fatalf("expected first miss")
+	}
+	before := h.Stats().Accesses
+	if res := h.Access(readReq(2, 0x40, 0), 1); res.Outcome != OutcomeStall {
+		t.Fatalf("expected MSHR stall")
+	}
+	if h.Stats().Accesses != before {
+		t.Errorf("stalled access must not be counted")
+	}
+	if h.Stats().MSHRStallEvents != 1 {
+		t.Errorf("MSHR stall should be counted once")
+	}
+}
+
+func TestHybridPredictionAccuracyTracked(t *testing.T) {
+	cfg := config.NewL1DConfig(config.DyFUSE)
+	cfg.SRAMKB = 1
+	cfg.SRAMSets = 4
+	cfg.SRAMWays = 2
+	h := MustNew(cfg).(*HybridL1D)
+	now := int64(0)
+	// Generate enough traffic that lines get evicted and judged.
+	for i := 0; i < 400; i++ {
+		var res AccessResult
+		if i%5 == 0 {
+			res = h.Access(writeReq(i%64, 0x500, 0), now)
+		} else {
+			res = h.Access(readReq(i%200, 0x600, 0), now)
+		}
+		if res.Outcome == OutcomeMiss || res.Outcome == OutcomeBypass {
+			fillAll(h, now+1)
+		}
+		h.Tick(now + 2)
+		now += 5
+	}
+	if h.Stats().Accuracy.Total() == 0 {
+		t.Errorf("prediction accuracy should be audited on evictions")
+	}
+}
+
+func TestHybridOutgoingIncludesWritebacks(t *testing.T) {
+	cfg := config.NewL1DConfig(config.Hybrid)
+	cfg.SRAMKB = 1
+	cfg.SRAMSets = 4
+	cfg.SRAMWays = 2
+	cfg.STTMRAMKB = 1
+	cfg.STTSets = 4
+	cfg.STTWays = 2
+	h := MustNew(cfg).(*HybridL1D)
+	now := int64(0)
+	// Dirty many blocks in the same sets so dirty data is eventually pushed
+	// out of both banks toward the L2.
+	for i := 0; i < 40; i++ {
+		res := h.Access(writeReq(4*i, 0x40, 0), now)
+		if res.Outcome == OutcomeStall {
+			now += 20
+			res = h.Access(writeReq(4*i, 0x40, 0), now)
+		}
+		if res.Outcome == OutcomeMiss {
+			fillAll(h, now+1)
+		}
+		now += 20
+	}
+	if h.Stats().Writebacks == 0 {
+		t.Errorf("dirty evictions from the STT-MRAM bank should produce write-backs")
+	}
+	if h.Stats().OutgoingRequests <= h.Stats().Misses {
+		t.Errorf("outgoing requests should include write-backs")
+	}
+}
+
+func TestHybridResetClearsEverything(t *testing.T) {
+	h := newHybridKind(config.DyFUSE)
+	now := int64(0)
+	for i := 0; i < 50; i++ {
+		res := h.Access(readReq(i, 0x40, 0), now)
+		if res.Outcome == OutcomeMiss || res.Outcome == OutcomeBypass {
+			fillAll(h, now+1)
+		}
+		h.Tick(now + 2)
+		now += 5
+	}
+	h.Reset()
+	s := h.Stats()
+	if s.Accesses != 0 || s.Misses != 0 || s.STTWrites != 0 {
+		t.Errorf("Reset should clear stats: %+v", s)
+	}
+	if !h.Queue().Empty() || h.Swap().Occupancy() != 0 {
+		t.Errorf("Reset should clear the queue and swap buffer")
+	}
+	if _, ok := h.PopOutgoing(); ok {
+		t.Errorf("Reset should clear outgoing requests")
+	}
+	if res := h.Access(readReq(1, 0x40, 0), 0); res.Outcome != OutcomeMiss {
+		t.Errorf("cache should behave cold after Reset, got %v", res.Outcome)
+	}
+}
+
+func TestHybridFillUnknownBlockIsNoop(t *testing.T) {
+	h := newHybridKind(config.BaseFUSE)
+	if woken := h.Fill(0xdead00, 3); len(woken) != 0 {
+		t.Errorf("fill without an MSHR entry should wake nobody")
+	}
+}
+
+func TestStallReasonConstants(t *testing.T) {
+	// The stall reasons are part of the public vocabulary used by the
+	// simulator's accounting; make sure they stay distinct.
+	reasons := []StallReason{StallNone, StallSTTWrite, StallTagSearch, StallMSHR, StallStructural}
+	seen := map[StallReason]bool{}
+	for _, r := range reasons {
+		if seen[r] {
+			t.Errorf("duplicate stall reason value %d", r)
+		}
+		seen[r] = true
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import "testing"
+
+func TestSwapBufferBasics(t *testing.T) {
+	s := NewSwapBuffer(3)
+	if s.Capacity() != 3 || s.Occupancy() != 0 || s.Full() {
+		t.Fatalf("fresh swap buffer state wrong")
+	}
+	if !s.Insert(0x100, 0x4, true) {
+		t.Fatalf("insert into empty buffer failed")
+	}
+	if !s.Lookup(0x100) {
+		t.Errorf("lookup of parked block failed")
+	}
+	if s.Lookup(0x200) {
+		t.Errorf("lookup of absent block succeeded")
+	}
+	dirty, ok := s.Remove(0x100)
+	if !ok || !dirty {
+		t.Errorf("remove should return the dirty bit: dirty=%v ok=%v", dirty, ok)
+	}
+	if _, ok := s.Remove(0x100); ok {
+		t.Errorf("double remove should fail")
+	}
+	if s.Inserts() != 1 || s.Hits() != 1 {
+		t.Errorf("counters wrong: inserts=%d hits=%d", s.Inserts(), s.Hits())
+	}
+}
+
+func TestSwapBufferFull(t *testing.T) {
+	s := NewSwapBuffer(2)
+	s.Insert(0x100, 0, false)
+	s.Insert(0x200, 0, false)
+	if !s.Full() {
+		t.Fatalf("buffer should be full")
+	}
+	if s.Insert(0x300, 0, false) {
+		t.Errorf("insert into full buffer should fail")
+	}
+	if s.FullRejections() != 1 {
+		t.Errorf("full rejection not counted")
+	}
+	s.Remove(0x100)
+	if !s.Insert(0x300, 0, false) {
+		t.Errorf("insert after remove should succeed")
+	}
+}
+
+func TestSwapBufferDisabled(t *testing.T) {
+	s := NewSwapBuffer(0)
+	if s.Capacity() != 0 || !s.Full() {
+		t.Errorf("zero-entry buffer should always be full")
+	}
+	if s.Insert(0x100, 0, false) {
+		t.Errorf("insert into disabled buffer should fail")
+	}
+	neg := NewSwapBuffer(-3)
+	if neg.Capacity() != 0 {
+		t.Errorf("negative capacity should clamp to 0")
+	}
+}
+
+func TestSwapBufferReset(t *testing.T) {
+	s := NewSwapBuffer(2)
+	s.Insert(0x100, 0, true)
+	s.Lookup(0x100)
+	s.Reset()
+	if s.Occupancy() != 0 || s.Inserts() != 0 || s.Hits() != 0 || s.FullRejections() != 0 {
+		t.Errorf("Reset should clear entries and counters")
+	}
+}
+
+func TestTagQueueFIFO(t *testing.T) {
+	q := NewTagQueue(3)
+	if q.Capacity() != 3 || !q.Empty() || q.Full() {
+		t.Fatalf("fresh queue state wrong")
+	}
+	q.Push(TagOp{Kind: TagOpFill, Block: 1})
+	q.Push(TagOp{Kind: TagOpMigrate, Block: 2})
+	q.Push(TagOp{Kind: TagOpFill, Block: 3})
+	if !q.Full() || q.Len() != 3 {
+		t.Fatalf("queue should be full with 3 ops")
+	}
+	if q.Push(TagOp{Block: 4}) {
+		t.Errorf("push into full queue should fail")
+	}
+	if q.FullRejections() != 1 {
+		t.Errorf("full rejection not counted")
+	}
+	if !q.Contains(2) || q.Contains(9) {
+		t.Errorf("Contains results wrong")
+	}
+	if op, ok := q.Peek(); !ok || op.Block != 1 {
+		t.Errorf("Peek should return the oldest op")
+	}
+	op, ok := q.Pop()
+	if !ok || op.Block != 1 || op.Kind != TagOpFill {
+		t.Errorf("Pop order wrong: %+v", op)
+	}
+	op, _ = q.Pop()
+	if op.Block != 2 || op.Kind != TagOpMigrate {
+		t.Errorf("Pop order wrong: %+v", op)
+	}
+	if q.Pushes() != 3 {
+		t.Errorf("Pushes = %d, want 3", q.Pushes())
+	}
+}
+
+func TestTagQueueFlush(t *testing.T) {
+	q := NewTagQueue(4)
+	q.Push(TagOp{Block: 1})
+	q.Push(TagOp{Block: 2})
+	drained := q.Flush()
+	if len(drained) != 2 || drained[0].Block != 1 || drained[1].Block != 2 {
+		t.Errorf("Flush should return ops in FIFO order: %+v", drained)
+	}
+	if !q.Empty() || q.Flushes() != 1 {
+		t.Errorf("queue should be empty after flush")
+	}
+	if _, ok := q.Pop(); ok {
+		t.Errorf("pop from empty queue should fail")
+	}
+	if _, ok := q.Peek(); ok {
+		t.Errorf("peek at empty queue should fail")
+	}
+}
+
+func TestTagQueueDisabledAndReset(t *testing.T) {
+	q := NewTagQueue(0)
+	if !q.Full() || q.Push(TagOp{Block: 1}) {
+		t.Errorf("zero-capacity queue should reject pushes")
+	}
+	neg := NewTagQueue(-1)
+	if neg.Capacity() != 0 {
+		t.Errorf("negative capacity should clamp to 0")
+	}
+	q2 := NewTagQueue(2)
+	q2.Push(TagOp{Block: 1})
+	q2.Flush()
+	q2.Reset()
+	if q2.Pushes() != 0 || q2.Flushes() != 0 || q2.FullRejections() != 0 || !q2.Empty() {
+		t.Errorf("Reset should clear counters and contents")
+	}
+}
+
+func TestTagOpKindString(t *testing.T) {
+	if TagOpMigrate.String() != "F" {
+		t.Errorf("migrate ops are marked F in the paper")
+	}
+	if TagOpFill.String() != "fill" {
+		t.Errorf("unexpected fill op string")
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+import "fuse/internal/mem"
+
+// TagOpKind is the command type of a tag-queue entry.
+type TagOpKind uint8
+
+const (
+	// TagOpFill writes a block arriving from the L2 into the STT-MRAM bank.
+	TagOpFill TagOpKind = iota
+	// TagOpMigrate (the paper's "F" command) moves a block from the swap
+	// buffer into the STT-MRAM bank.
+	TagOpMigrate
+)
+
+// String implements fmt.Stringer.
+func (k TagOpKind) String() string {
+	if k == TagOpMigrate {
+		return "F"
+	}
+	return "fill"
+}
+
+// TagOp is one pending STT-MRAM operation: the command type plus the tag and
+// index of the target block (the data itself lives in the swap buffer or in
+// the fill response).
+type TagOp struct {
+	Kind  TagOpKind
+	Block uint64
+	PC    uint64
+	Dirty bool
+	Level mem.ReadLevel
+}
+
+// TagQueue is the FIFO of pending STT-MRAM operations that makes the
+// STT-MRAM bank non-blocking: the SRAM bank and the approximation logic keep
+// serving requests while writes wait here (Section IV-A).
+type TagQueue struct {
+	ops []TagOp
+	cap int
+
+	pushes  uint64
+	flushes uint64
+	fullRej uint64
+}
+
+// NewTagQueue creates a queue holding at most `capacity` operations (16 in
+// the paper). Zero capacity disables the queue.
+func NewTagQueue(capacity int) *TagQueue {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &TagQueue{cap: capacity}
+}
+
+// Capacity returns the maximum number of queued operations.
+func (q *TagQueue) Capacity() int { return q.cap }
+
+// Len returns the number of queued operations.
+func (q *TagQueue) Len() int { return len(q.ops) }
+
+// Full reports whether no more operations can be queued.
+func (q *TagQueue) Full() bool { return len(q.ops) >= q.cap }
+
+// Empty reports whether the queue has no pending operations.
+func (q *TagQueue) Empty() bool { return len(q.ops) == 0 }
+
+// Push appends an operation; it returns false when the queue is full.
+func (q *TagQueue) Push(op TagOp) bool {
+	if q.Full() {
+		q.fullRej++
+		return false
+	}
+	q.ops = append(q.ops, op)
+	q.pushes++
+	return true
+}
+
+// Pop removes and returns the oldest operation.
+func (q *TagQueue) Pop() (TagOp, bool) {
+	if len(q.ops) == 0 {
+		return TagOp{}, false
+	}
+	op := q.ops[0]
+	q.ops = q.ops[1:]
+	return op, true
+}
+
+// Peek returns the oldest operation without removing it.
+func (q *TagQueue) Peek() (TagOp, bool) {
+	if len(q.ops) == 0 {
+		return TagOp{}, false
+	}
+	return q.ops[0], true
+}
+
+// Contains reports whether an operation for the block is pending.
+func (q *TagQueue) Contains(block uint64) bool {
+	for _, op := range q.ops {
+		if op.Block == block {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush drains every pending operation and returns them in FIFO order. The
+// paper's controller flushes the queue when a write update arrives for a
+// block whose WORM prediction turned out wrong, because the queue holds only
+// meta-information while the write carries 128 bytes of data.
+func (q *TagQueue) Flush() []TagOp {
+	q.flushes++
+	out := q.ops
+	q.ops = nil
+	return out
+}
+
+// Pushes returns the number of successfully queued operations.
+func (q *TagQueue) Pushes() uint64 { return q.pushes }
+
+// Flushes returns the number of Flush calls.
+func (q *TagQueue) Flushes() uint64 { return q.flushes }
+
+// FullRejections returns the number of pushes rejected because the queue was
+// full.
+func (q *TagQueue) FullRejections() uint64 { return q.fullRej }
+
+// Reset clears the queue and its counters.
+func (q *TagQueue) Reset() {
+	q.ops = nil
+	q.pushes = 0
+	q.flushes = 0
+	q.fullRej = 0
+}

@@ -1,0 +1,278 @@
+// Package dram models the off-chip GDDR5 global memory of the GPU: multiple
+// channels, each with several banks, per-bank row buffers and the
+// tCL/tRCD/tRP/tRAS timing constraints that make a row miss so much more
+// expensive than a row hit. Requests are scheduled per channel with a
+// simplified FR-FCFS policy (row hits are served from the queue ahead of row
+// misses), which is how real GPU memory controllers coalesce and reorder
+// traffic (Section II-A2).
+package dram
+
+import (
+	"fmt"
+
+	"fuse/internal/mem"
+	"fuse/internal/stats"
+)
+
+// Config describes the DRAM subsystem. All timings are expressed in core
+// cycles for simplicity (the paper's Table I lists them in DRAM cycles; the
+// ratio is folded into the values).
+type Config struct {
+	// Channels is the number of independent GDDR5 channels.
+	Channels int
+	// BanksPerChannel is the number of DRAM banks per channel.
+	BanksPerChannel int
+	// RowBytes is the row-buffer size per bank.
+	RowBytes int
+	// TCL is the CAS latency (cycles from column command to data).
+	TCL int
+	// TRCD is the RAS-to-CAS delay (activate to column command).
+	TRCD int
+	// TRP is the precharge latency.
+	TRP int
+	// TRAS is the minimum activate-to-precharge time.
+	TRAS int
+	// BurstCycles is the data transfer time of one 128-byte block.
+	BurstCycles int
+	// QueueDepth is the per-channel request queue depth; when the queue is
+	// full the memory controller back-pressures the L2.
+	QueueDepth int
+}
+
+// withDefaults fills zero fields with the paper's Table I values.
+func (c Config) withDefaults() Config {
+	if c.Channels <= 0 {
+		c.Channels = 6
+	}
+	if c.BanksPerChannel <= 0 {
+		c.BanksPerChannel = 8
+	}
+	if c.RowBytes <= 0 {
+		c.RowBytes = 2048
+	}
+	if c.TCL <= 0 {
+		c.TCL = 12
+	}
+	if c.TRCD <= 0 {
+		c.TRCD = 12
+	}
+	if c.TRP <= 0 {
+		c.TRP = 12
+	}
+	if c.TRAS <= 0 {
+		c.TRAS = 28
+	}
+	if c.BurstCycles <= 0 {
+		c.BurstCycles = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	return c
+}
+
+// bankState tracks one DRAM bank: the currently open row and when the bank
+// finishes its current operation.
+type bankState struct {
+	openRow    int64
+	hasOpenRow bool
+	readyAt    int64
+	lastActAt  int64
+}
+
+// channelState tracks one channel: its banks and the occupancy of the shared
+// data bus.
+type channelState struct {
+	banks       []bankState
+	busFreeAt   int64
+	queuedUntil []int64 // completion times of in-flight requests (for queue-depth modelling)
+}
+
+// DRAM is the whole off-chip memory.
+type DRAM struct {
+	cfg      Config
+	channels []channelState
+
+	accesses  stats.Counter
+	rowHits   stats.Counter
+	rowMisses stats.Counter
+	reads     stats.Counter
+	writes    stats.Counter
+	totalLat  stats.Counter
+	stallsQ   stats.Counter
+}
+
+// New builds a DRAM model (zero-value fields take the paper's defaults).
+func New(cfg Config) *DRAM {
+	cfg = cfg.withDefaults()
+	d := &DRAM{cfg: cfg}
+	d.channels = make([]channelState, cfg.Channels)
+	for i := range d.channels {
+		d.channels[i].banks = make([]bankState, cfg.BanksPerChannel)
+	}
+	return d
+}
+
+// Config returns the effective configuration.
+func (d *DRAM) Config() Config { return d.cfg }
+
+// Channels returns the number of channels.
+func (d *DRAM) Channels() int { return d.cfg.Channels }
+
+// ChannelFor maps a block address to its channel (low-order interleaving
+// above the block offset spreads consecutive blocks across channels).
+func (d *DRAM) ChannelFor(addr uint64) int {
+	return int(mem.BlockIndex(addr)) % d.cfg.Channels
+}
+
+// bankFor maps a block address to a bank within its channel.
+func (d *DRAM) bankFor(addr uint64) int {
+	return int(mem.BlockIndex(addr)/uint64(d.cfg.Channels)) % d.cfg.BanksPerChannel
+}
+
+// rowFor returns the row number the address falls in.
+func (d *DRAM) rowFor(addr uint64) int64 {
+	blocksPerRow := uint64(d.cfg.RowBytes / mem.BlockSize)
+	if blocksPerRow == 0 {
+		blocksPerRow = 1
+	}
+	return int64(mem.BlockIndex(addr) / uint64(d.cfg.Channels) / uint64(d.cfg.BanksPerChannel) / blocksPerRow)
+}
+
+// pruneQueue drops completed entries from the channel's in-flight list.
+func (ch *channelState) pruneQueue(now int64) {
+	kept := ch.queuedUntil[:0]
+	for _, t := range ch.queuedUntil {
+		if t > now {
+			kept = append(kept, t)
+		}
+	}
+	ch.queuedUntil = kept
+}
+
+// Access issues a read or write of one 128-byte block at cycle `now` and
+// returns the cycle at which the data transfer completes. Queue back-pressure
+// is modelled by delaying the request start until a queue slot frees.
+func (d *DRAM) Access(addr uint64, write bool, now int64) int64 {
+	d.accesses.Inc()
+	if write {
+		d.writes.Inc()
+	} else {
+		d.reads.Inc()
+	}
+	chIdx := d.ChannelFor(addr)
+	ch := &d.channels[chIdx]
+	bank := &ch.banks[d.bankFor(addr)]
+	row := d.rowFor(addr)
+
+	start := now
+	ch.pruneQueue(now)
+	if len(ch.queuedUntil) >= d.cfg.QueueDepth {
+		// Queue full: wait for the earliest in-flight request to finish.
+		earliest := ch.queuedUntil[0]
+		for _, t := range ch.queuedUntil {
+			if t < earliest {
+				earliest = t
+			}
+		}
+		if earliest > start {
+			start = earliest
+			d.stallsQ.Inc()
+		}
+		ch.pruneQueue(start)
+	}
+	if bank.readyAt > start {
+		start = bank.readyAt
+	}
+
+	var dataAt int64
+	if bank.hasOpenRow && bank.openRow == row {
+		// Row hit (FR-FCFS prioritises these, which in this model simply
+		// means they are not charged activation latency).
+		d.rowHits.Inc()
+		dataAt = start + int64(d.cfg.TCL)
+	} else {
+		d.rowMisses.Inc()
+		precharge := int64(0)
+		if bank.hasOpenRow {
+			// Respect tRAS: the previous activation must have been open
+			// long enough before we can precharge.
+			minPre := bank.lastActAt + int64(d.cfg.TRAS)
+			if minPre > start {
+				start = minPre
+			}
+			precharge = int64(d.cfg.TRP)
+		}
+		actAt := start + precharge
+		bank.lastActAt = actAt
+		dataAt = actAt + int64(d.cfg.TRCD) + int64(d.cfg.TCL)
+		bank.hasOpenRow = true
+		bank.openRow = row
+	}
+
+	// The data burst occupies the channel's shared bus.
+	burstStart := dataAt
+	if ch.busFreeAt > burstStart {
+		burstStart = ch.busFreeAt
+	}
+	done := burstStart + int64(d.cfg.BurstCycles)
+	ch.busFreeAt = done
+	bank.readyAt = done
+
+	ch.queuedUntil = append(ch.queuedUntil, done)
+	d.totalLat.Add(uint64(done - now))
+	return done
+}
+
+// Accesses returns the number of requests served.
+func (d *DRAM) Accesses() uint64 { return d.accesses.Value() }
+
+// Reads returns the number of read requests served.
+func (d *DRAM) Reads() uint64 { return d.reads.Value() }
+
+// Writes returns the number of write requests served.
+func (d *DRAM) Writes() uint64 { return d.writes.Value() }
+
+// RowHitRate returns the fraction of accesses that hit an open row.
+func (d *DRAM) RowHitRate() float64 {
+	total := d.rowHits.Value() + d.rowMisses.Value()
+	if total == 0 {
+		return 0
+	}
+	return float64(d.rowHits.Value()) / float64(total)
+}
+
+// AverageLatency returns the mean access latency in cycles.
+func (d *DRAM) AverageLatency() float64 {
+	if d.accesses.Value() == 0 {
+		return 0
+	}
+	return float64(d.totalLat.Value()) / float64(d.accesses.Value())
+}
+
+// QueueStalls returns the number of requests delayed by a full channel queue.
+func (d *DRAM) QueueStalls() uint64 { return d.stallsQ.Value() }
+
+// Reset clears all channel, bank and statistic state.
+func (d *DRAM) Reset() {
+	for i := range d.channels {
+		for b := range d.channels[i].banks {
+			d.channels[i].banks[b] = bankState{}
+		}
+		d.channels[i].busFreeAt = 0
+		d.channels[i].queuedUntil = nil
+	}
+	d.accesses.Reset()
+	d.rowHits.Reset()
+	d.rowMisses.Reset()
+	d.reads.Reset()
+	d.writes.Reset()
+	d.totalLat.Reset()
+	d.stallsQ.Reset()
+}
+
+// String describes the configuration.
+func (d *DRAM) String() string {
+	return fmt.Sprintf("GDDR5{%d channels x %d banks, tCL=%d tRCD=%d tRP=%d tRAS=%d}",
+		d.cfg.Channels, d.cfg.BanksPerChannel, d.cfg.TCL, d.cfg.TRCD, d.cfg.TRP, d.cfg.TRAS)
+}

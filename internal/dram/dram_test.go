@@ -1,0 +1,166 @@
+package dram
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"fuse/internal/mem"
+)
+
+func TestDefaultsMatchTableI(t *testing.T) {
+	d := New(Config{})
+	cfg := d.Config()
+	if cfg.Channels != 6 {
+		t.Errorf("paper uses 6 DRAM channels, got %d", cfg.Channels)
+	}
+	if cfg.TCL != 12 || cfg.TRCD != 12 || cfg.TRAS != 28 {
+		t.Errorf("timings should match Table I: %+v", cfg)
+	}
+	if d.Channels() != 6 {
+		t.Errorf("Channels() = %d", d.Channels())
+	}
+	if !strings.Contains(d.String(), "GDDR5") {
+		t.Errorf("String should describe the device")
+	}
+}
+
+func TestRowHitFasterThanRowMiss(t *testing.T) {
+	d := New(Config{})
+	// First access opens the row (row miss).
+	first := d.Access(0, false, 0)
+	// Second access to the same block hits the open row.
+	second := d.Access(0, false, first)
+	missLat := first - 0
+	hitLat := second - first
+	if hitLat >= missLat {
+		t.Errorf("row hit (%d cycles) should be faster than row miss (%d cycles)", hitLat, missLat)
+	}
+	if d.RowHitRate() != 0.5 {
+		t.Errorf("row hit rate = %v, want 0.5", d.RowHitRate())
+	}
+}
+
+func TestChannelInterleaving(t *testing.T) {
+	d := New(Config{})
+	seen := map[int]bool{}
+	for i := 0; i < 12; i++ {
+		seen[d.ChannelFor(uint64(i)*mem.BlockSize)] = true
+	}
+	if len(seen) != 6 {
+		t.Errorf("consecutive blocks should spread over all 6 channels, hit %d", len(seen))
+	}
+	// Same address always maps to the same channel.
+	if d.ChannelFor(0x12380) != d.ChannelFor(0x12380) {
+		t.Errorf("channel mapping must be deterministic")
+	}
+}
+
+func TestBankLevelParallelism(t *testing.T) {
+	d := New(Config{})
+	// Two requests to different channels at the same time should both finish
+	// at (roughly) the single-request latency, not serialise.
+	a := d.Access(0*mem.BlockSize, false, 0)
+	b := d.Access(1*mem.BlockSize, false, 0) // different channel by interleaving
+	single := New(Config{}).Access(0, false, 0)
+	if a > single || b > single {
+		t.Errorf("independent channels should not serialise: a=%d b=%d single=%d", a, b, single)
+	}
+	// Two requests to the same bank must serialise.
+	d2 := New(Config{})
+	first := d2.Access(0, false, 0)
+	second := d2.Access(0, false, 0)
+	if second <= first {
+		t.Errorf("same-bank requests must serialise: %d then %d", first, second)
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	d := New(Config{QueueDepth: 2})
+	// Flood one channel: with a depth-2 queue, later requests must be
+	// delayed and the stall counter must grow.
+	base := uint64(0)
+	var last int64
+	for i := 0; i < 20; i++ {
+		// Same channel: step by Channels blocks.
+		addr := base + uint64(i)*uint64(d.Config().Channels)*mem.BlockSize
+		last = d.Access(addr, false, 0)
+	}
+	if d.QueueStalls() == 0 {
+		t.Errorf("expected queue stalls under flood")
+	}
+	if last <= int64(d.Config().TCL) {
+		t.Errorf("flooded channel should finish well after a single access")
+	}
+}
+
+func TestReadWriteCounted(t *testing.T) {
+	d := New(Config{})
+	d.Access(0, false, 0)
+	d.Access(128, true, 0)
+	if d.Reads() != 1 || d.Writes() != 1 || d.Accesses() != 2 {
+		t.Errorf("access counters wrong: %d reads %d writes %d total", d.Reads(), d.Writes(), d.Accesses())
+	}
+	if d.AverageLatency() <= 0 {
+		t.Errorf("average latency should be positive")
+	}
+}
+
+func TestCompletionAfterIssue(t *testing.T) {
+	prop := func(addr uint64, write bool, now uint32) bool {
+		d := New(Config{})
+		done := d.Access(addr, write, int64(now))
+		return done > int64(now)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSameBankMonotonicCompletion(t *testing.T) {
+	d := New(Config{})
+	prev := int64(0)
+	for i := 0; i < 50; i++ {
+		done := d.Access(0, i%3 == 0, int64(i))
+		if done < prev {
+			t.Fatalf("completion times must be monotonic for one bank: %d < %d", done, prev)
+		}
+		prev = done
+	}
+}
+
+func TestOffChipLatencyFarExceedsL1Latency(t *testing.T) {
+	// The motivation of the whole paper: a DRAM access costs dozens of
+	// cycles even before the interconnect is added, vs. 1 cycle for the L1D.
+	d := New(Config{})
+	lat := d.Access(0x100000, false, 0)
+	if lat < 20 {
+		t.Errorf("cold DRAM access should cost at least tRCD+tCL+burst, got %d", lat)
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	d := New(Config{})
+	d.Access(0, false, 0)
+	d.Access(0, true, 0)
+	d.Reset()
+	if d.Accesses() != 0 || d.RowHitRate() != 0 || d.AverageLatency() != 0 || d.QueueStalls() != 0 {
+		t.Errorf("Reset should clear statistics")
+	}
+	// After reset the first access is a row miss again.
+	d.Access(0, false, 0)
+	if d.RowHitRate() != 0 {
+		t.Errorf("post-reset first access should be a row miss")
+	}
+}
+
+func TestConfigClamping(t *testing.T) {
+	d := New(Config{Channels: -1, BanksPerChannel: 0, RowBytes: 0, TCL: 0, TRCD: 0, TRP: 0, TRAS: 0, BurstCycles: 0, QueueDepth: 0})
+	cfg := d.Config()
+	if cfg.Channels <= 0 || cfg.BanksPerChannel <= 0 || cfg.RowBytes <= 0 || cfg.QueueDepth <= 0 {
+		t.Errorf("invalid config should clamp to defaults: %+v", cfg)
+	}
+	if done := d.Access(0, false, 0); done <= 0 {
+		t.Errorf("clamped DRAM should still serve accesses")
+	}
+}

@@ -1,0 +1,171 @@
+// Package energy implements the GPUWattch/CACTI/NVSim-style energy
+// accounting the paper uses for Figure 1b (whole-GPU energy decomposition)
+// and Figure 17 (L1D energy). Dynamic energy is charged per component access
+// using the per-access energies of Table I; leakage is charged per cycle from
+// the per-bank leakage powers.
+package energy
+
+import (
+	"fmt"
+	"strings"
+
+	"fuse/internal/config"
+	"fuse/internal/memtech"
+	"fuse/internal/sim"
+)
+
+// Per-access dynamic energies (nJ) of the non-L1D components. These follow
+// the GPUWattch defaults for a Fermi-class GPU; only their relative
+// magnitudes matter for the paper's decomposition figures.
+const (
+	// ComputeEnergyPerInstr is the SM core pipeline energy per warp
+	// instruction.
+	ComputeEnergyPerInstr = 0.45
+	// L2EnergyPerAccess is the energy of one L2 bank access (ECC included).
+	L2EnergyPerAccess = 0.9
+	// DRAMEnergyPerAccess is the energy of one 128-byte GDDR5 access.
+	DRAMEnergyPerAccess = 8.5
+	// NoCEnergyPerPacket is the router+link energy of one packet traversal.
+	NoCEnergyPerPacket = 0.35
+	// L2LeakageMW and other leakage constants are whole-structure leakage
+	// powers in milliwatts.
+	L2LeakageMW   = 120.0
+	DRAMLeakageMW = 250.0
+	SMLeakageMW   = 35.0 // per SM, excluding the L1D banks
+)
+
+// Breakdown is the energy of one simulation run split by component. All
+// values are in nano-joules.
+type Breakdown struct {
+	Workload string
+	Kind     config.L1DKind
+
+	// Dynamic energy per component.
+	ComputeDynamic float64
+	L1DDynamic     float64
+	L2Dynamic      float64
+	DRAMDynamic    float64
+	NoCDynamic     float64
+
+	// Leakage energy per component.
+	L1DLeakage   float64
+	L2Leakage    float64
+	DRAMLeakage  float64
+	ComputeLeak  float64
+	CyclesSimmed int64
+}
+
+// L1DTotal returns the total L1D energy (dynamic + leakage), the quantity of
+// Figure 17.
+func (b Breakdown) L1DTotal() float64 { return b.L1DDynamic + b.L1DLeakage }
+
+// OnChipCompute returns the SM computation energy (dynamic + leakage).
+func (b Breakdown) OnChipCompute() float64 { return b.ComputeDynamic + b.ComputeLeak }
+
+// OffChip returns the energy of everything behind the L1D: interconnect, L2
+// and DRAM (the "off-chip" service energy of Figure 1b).
+func (b Breakdown) OffChip() float64 {
+	return b.NoCDynamic + b.L2Dynamic + b.L2Leakage + b.DRAMDynamic + b.DRAMLeakage
+}
+
+// Total returns the total GPU energy.
+func (b Breakdown) Total() float64 {
+	return b.OnChipCompute() + b.L1DTotal() + b.OffChip()
+}
+
+// OffChipFraction returns the fraction of total energy spent on off-chip
+// service (Figure 1b's headline ~71%).
+func (b Breakdown) OffChipFraction() float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return b.OffChip() / t
+}
+
+// String renders the breakdown as a short report.
+func (b Breakdown) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "energy[%s/%s] total=%.1f nJ\n", b.Kind, b.Workload, b.Total())
+	fmt.Fprintf(&sb, "  compute=%.1f L1D=%.1f (dyn %.1f + leak %.1f)\n",
+		b.OnChipCompute(), b.L1DTotal(), b.L1DDynamic, b.L1DLeakage)
+	fmt.Fprintf(&sb, "  NoC=%.1f L2=%.1f DRAM=%.1f off-chip fraction=%.2f\n",
+		b.NoCDynamic, b.L2Dynamic+b.L2Leakage, b.DRAMDynamic+b.DRAMLeakage, b.OffChipFraction())
+	return sb.String()
+}
+
+// leakageNJ converts a leakage power in mW over `cycles` cycles of a clock in
+// MHz to nano-joules.
+func leakageNJ(mw float64, cycles int64, clockMHz float64) float64 {
+	if clockMHz <= 0 || cycles <= 0 {
+		return 0
+	}
+	seconds := float64(cycles) / (clockMHz * 1e6)
+	return mw * seconds * 1e6
+}
+
+// FromResult derives the energy breakdown of a finished simulation run. The
+// L1D configuration supplies the bank technology parameters; the GPU
+// configuration supplies the clock and SM count.
+func FromResult(res sim.Result, gpuCfg config.GPUConfig) Breakdown {
+	l1d := gpuCfg.L1D
+	b := Breakdown{
+		Workload:     res.Workload,
+		Kind:         res.L1DKind,
+		CyclesSimmed: res.Cycles,
+	}
+
+	// Dynamic energy.
+	b.ComputeDynamic = float64(res.Instructions) * ComputeEnergyPerInstr
+	b.L1DDynamic = float64(res.SRAMReads)*l1d.SRAMTech.ReadEnergy +
+		float64(res.SRAMWrites)*l1d.SRAMTech.WriteEnergy +
+		float64(res.STTReads)*l1d.STTTech.ReadEnergy +
+		float64(res.STTWrites)*l1d.STTTech.WriteEnergy
+	b.L2Dynamic = float64(res.L2Accesses) * L2EnergyPerAccess
+	b.DRAMDynamic = float64(res.DRAMAccesses) * DRAMEnergyPerAccess
+	b.NoCDynamic = float64(res.NoCRequests+res.NoCResponses) * NoCEnergyPerPacket
+
+	// Leakage: per-SM L1D banks and core, plus the shared L2 and DRAM.
+	sms := float64(res.SimulatedSMs)
+	l1dLeakMW := 0.0
+	if l1d.SRAMKB > 0 {
+		l1dLeakMW += l1d.SRAMTech.LeakagePower
+	}
+	if l1d.STTMRAMKB > 0 {
+		l1dLeakMW += l1d.STTTech.LeakagePower
+	}
+	b.L1DLeakage = leakageNJ(l1dLeakMW*sms, res.Cycles, gpuCfg.CoreClockMHz)
+	b.ComputeLeak = leakageNJ(SMLeakageMW*sms, res.Cycles, gpuCfg.CoreClockMHz)
+	// The shared structures are scaled by the fraction of the GPU simulated
+	// so that reduced-scale experiment runs stay comparable.
+	scale := sms / float64(gpuCfg.SMs)
+	if scale > 1 {
+		scale = 1
+	}
+	b.L2Leakage = leakageNJ(L2LeakageMW*scale, res.Cycles, gpuCfg.CoreClockMHz)
+	b.DRAMLeakage = leakageNJ(DRAMLeakageMW*scale, res.Cycles, gpuCfg.CoreClockMHz)
+	return b
+}
+
+// TechnologyComparison compares the L1D leakage of SRAM, STT-MRAM and eDRAM
+// organisations of the same capacity; it backs the Discussion-section claim
+// that STT-MRAM is the preferable high-density technology.
+func TechnologyComparison(capacityKB int, cycles int64, clockMHz float64) map[string]float64 {
+	out := make(map[string]float64, 3)
+	for _, p := range []memtech.Params{
+		memtech.SRAMParams(capacityKB),
+		memtech.STTMRAMParams(capacityKB),
+		memtech.EDRAMParams(capacityKB),
+	} {
+		e := leakageNJ(p.LeakagePower, cycles, clockMHz)
+		if p.RefreshIntervalUS > 0 && clockMHz > 0 {
+			// Refresh energy: one full-array rewrite per refresh interval.
+			seconds := float64(cycles) / (clockMHz * 1e6)
+			refreshes := seconds / (p.RefreshIntervalUS * 1e-6)
+			blocks := float64(capacityKB * 1024 / 128)
+			e += refreshes * blocks * p.WriteEnergy
+		}
+		out[p.Tech.String()] = e
+	}
+	return out
+}

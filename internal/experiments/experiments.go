@@ -1,0 +1,186 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation: each ExpXX function runs the required simulations and returns a
+// text table whose rows correspond to the paper's bars/series. The absolute
+// numbers come from our from-scratch simulator rather than GPGPU-Sim, so they
+// are not expected to match the paper digit for digit; the shape (who wins,
+// by roughly what factor, where the crossovers are) is the reproduction
+// target, and EXPERIMENTS.md records both sides.
+package experiments
+
+import (
+	"fmt"
+
+	"fuse/internal/config"
+	"fuse/internal/sim"
+	"fuse/internal/stats"
+	"fuse/internal/trace"
+)
+
+// Scale controls how much work each simulation run does. The experiments are
+// statistically stable well below the paper's one-billion-instruction runs;
+// the scales below trade fidelity for wall-clock time.
+type Scale struct {
+	// InstructionsPerWarp is the per-warp instruction budget.
+	InstructionsPerWarp uint64
+	// SMs is the number of SMs simulated (the memory side is scaled
+	// proportionally, see sim.Options.SMOverride).
+	SMs int
+	// Seed seeds the workload generators.
+	Seed uint64
+}
+
+// Predefined scales.
+var (
+	// QuickScale is for unit tests.
+	QuickScale = Scale{InstructionsPerWarp: 200, SMs: 2, Seed: 42}
+	// BenchScale is for the repository's benchmark harness.
+	BenchScale = Scale{InstructionsPerWarp: 400, SMs: 2, Seed: 42}
+	// FullScale simulates the paper's full 15-SM GPU.
+	FullScale = Scale{InstructionsPerWarp: 2000, SMs: 15, Seed: 42}
+)
+
+// Options converts the scale into simulator options.
+func (s Scale) Options() sim.Options {
+	return sim.Options{
+		InstructionsPerWarp: s.InstructionsPerWarp,
+		SMOverride:          s.SMs,
+		Seed:                s.Seed,
+	}
+}
+
+// Key identifies one (configuration, workload) simulation.
+type Key struct {
+	Kind     config.L1DKind
+	Workload string
+}
+
+// Matrix caches simulation results so that figures sharing the same runs
+// (13, 14, 15, 16, 17) do not re-simulate.
+type Matrix struct {
+	scale   Scale
+	results map[Key]sim.Result
+}
+
+// NewMatrix creates an empty result cache at the given scale.
+func NewMatrix(scale Scale) *Matrix {
+	return &Matrix{scale: scale, results: make(map[Key]sim.Result)}
+}
+
+// Scale returns the matrix's scale.
+func (m *Matrix) Scale() Scale { return m.scale }
+
+// Get runs (or returns the cached result of) one simulation.
+func (m *Matrix) Get(kind config.L1DKind, workload string) (sim.Result, error) {
+	k := Key{kind, workload}
+	if r, ok := m.results[k]; ok {
+		return r, nil
+	}
+	r, err := sim.RunWorkload(kind, workload, m.scale.Options())
+	if err != nil {
+		return sim.Result{}, err
+	}
+	m.results[k] = r
+	return r, nil
+}
+
+// GetCustom runs (or returns the cached result of) a simulation with a custom
+// GPU configuration, keyed by a label instead of an L1D kind.
+func (m *Matrix) GetCustom(label string, gpuCfg config.GPUConfig, workload string) (sim.Result, error) {
+	k := Key{Kind: config.L1DKind(200 + len(label)%50), Workload: label + "/" + workload}
+	if r, ok := m.results[k]; ok {
+		return r, nil
+	}
+	prof, ok := trace.ProfileByName(workload)
+	if !ok {
+		return sim.Result{}, fmt.Errorf("experiments: unknown workload %q", workload)
+	}
+	s, err := sim.New(gpuCfg, prof, m.scale.Options())
+	if err != nil {
+		return sim.Result{}, err
+	}
+	r := s.Run()
+	m.results[k] = r
+	return r, nil
+}
+
+// Runs returns the number of cached simulation results.
+func (m *Matrix) Runs() int { return len(m.results) }
+
+// fig13Kinds is the configuration order of Figures 13/14.
+var fig13Kinds = []config.L1DKind{
+	config.ByNVM, config.FASRAM, config.Hybrid,
+	config.BaseFUSE, config.FAFUSE, config.DyFUSE,
+}
+
+// AllWorkloads returns the 21 workload names in figure order.
+func AllWorkloads() []string { return trace.Names() }
+
+// Names of the experiments, usable with Run.
+const (
+	ExpFig1   = "fig1"
+	ExpFig3   = "fig3"
+	ExpFig6   = "fig6"
+	ExpFig7   = "fig7"
+	ExpTable1 = "table1"
+	ExpTable2 = "table2"
+	ExpFig13  = "fig13"
+	ExpFig14  = "fig14"
+	ExpFig15  = "fig15"
+	ExpFig16  = "fig16"
+	ExpFig17  = "fig17"
+	ExpFig18  = "fig18"
+	ExpFig19  = "fig19"
+	ExpFig20  = "fig20"
+	ExpTable3 = "table3"
+)
+
+// AllExperiments lists every experiment identifier in paper order.
+func AllExperiments() []string {
+	return []string{
+		ExpFig1, ExpFig3, ExpFig6, ExpFig7, ExpTable1, ExpTable2,
+		ExpFig13, ExpFig14, ExpFig15, ExpFig16, ExpFig17,
+		ExpFig18, ExpFig19, ExpFig20, ExpTable3,
+	}
+}
+
+// Run executes one experiment by name over the given workloads (nil means the
+// experiment's default set) using the matrix's scale and result cache.
+func Run(m *Matrix, name string, workloads []string) (*stats.Table, error) {
+	if workloads == nil {
+		workloads = AllWorkloads()
+	}
+	switch name {
+	case ExpFig1:
+		return Fig1OffChipOverheads(m, workloads)
+	case ExpFig3:
+		return Fig3Motivation(m)
+	case ExpFig6:
+		return Fig6ReadLevelAnalysis(workloads, m.scale.Seed)
+	case ExpFig7:
+		return Fig7ApproxVsFullyAssociative(m)
+	case ExpTable1:
+		return Table1Configuration(), nil
+	case ExpTable2:
+		return Table2Workloads(m, workloads)
+	case ExpFig13:
+		return Fig13NormalizedIPC(m, workloads)
+	case ExpFig14:
+		return Fig14MissRate(m, workloads)
+	case ExpFig15:
+		return Fig15CacheStalls(m, workloads)
+	case ExpFig16:
+		return Fig16PredictorAccuracy(m, workloads)
+	case ExpFig17:
+		return Fig17L1DEnergy(m, workloads)
+	case ExpFig18:
+		return Fig18RatioSweep(m)
+	case ExpFig19:
+		return Fig19Volta(m, workloads)
+	case ExpFig20:
+		return Fig20CBFFalsePositives(m.scale.Seed)
+	case ExpTable3:
+		return Table3Area(), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown experiment %q (want one of %v)", name, AllExperiments())
+	}
+}

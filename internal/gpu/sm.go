@@ -1,0 +1,255 @@
+package gpu
+
+import (
+	"fuse/internal/core"
+	"fuse/internal/mem"
+	"fuse/internal/trace"
+)
+
+// SMStats is the per-SM performance accounting.
+type SMStats struct {
+	// Cycles is the number of cycles the SM has been clocked.
+	Cycles uint64
+	// Issued is the number of instructions issued.
+	Issued uint64
+	// MemInstructions is the number of memory instructions issued.
+	MemInstructions uint64
+	// L1DStallCycles counts cycles wasted because the L1D rejected the
+	// memory instruction at the head of the selected warp.
+	L1DStallCycles uint64
+	// NoReadyWarpCycles counts cycles in which no warp could issue.
+	NoReadyWarpCycles uint64
+	// MemWaitCycles counts the no-ready-warp cycles in which at least one
+	// warp was blocked on an outstanding off-chip fill; this is the
+	// quantity behind the paper's Figure 1 off-chip overhead analysis.
+	MemWaitCycles uint64
+}
+
+// IPC returns instructions per cycle.
+func (s *SMStats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Issued) / float64(s.Cycles)
+}
+
+// SM is one streaming multiprocessor: a set of resident warps, a shared
+// kernel instruction stream, and a private L1D cache.
+type SM struct {
+	// ID is the SM index within the GPU.
+	ID int
+
+	warps  []*Warp
+	kernel *trace.Kernel
+	l1d    core.L1D
+
+	// pending holds, per warp, the memory instruction that was rejected by
+	// the L1D (to be retried), if any.
+	pending []*trace.Instruction
+
+	// waiting maps an outstanding block address to the warps blocked on it.
+	waiting map[uint64][]int
+
+	// greedyWarp is the warp the GTO scheduler sticks with until it stalls.
+	greedyWarp int
+
+	nextReqID uint64
+	stats     SMStats
+}
+
+// NewSM builds an SM with the given number of warps, each executing
+// `instrPerWarp` instructions of the kernel, backed by the given L1D cache.
+func NewSM(id, warps int, instrPerWarp uint64, kernel *trace.Kernel, l1d core.L1D) *SM {
+	if warps <= 0 {
+		warps = 1
+	}
+	sm := &SM{
+		ID:      id,
+		kernel:  kernel,
+		l1d:     l1d,
+		waiting: make(map[uint64][]int),
+		pending: make([]*trace.Instruction, warps),
+	}
+	sm.warps = make([]*Warp, warps)
+	for i := range sm.warps {
+		sm.warps[i] = &Warp{ID: i, Budget: instrPerWarp}
+	}
+	return sm
+}
+
+// L1D exposes the SM's cache.
+func (sm *SM) L1D() core.L1D { return sm.l1d }
+
+// Stats exposes the SM's performance counters.
+func (sm *SM) Stats() *SMStats { return &sm.stats }
+
+// Warps returns the number of resident warps.
+func (sm *SM) Warps() int { return len(sm.warps) }
+
+// Done reports whether every warp has retired its budget.
+func (sm *SM) Done() bool {
+	for _, w := range sm.warps {
+		if !w.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// OutstandingFills returns the number of distinct blocks the SM is waiting on.
+func (sm *SM) OutstandingFills() int { return len(sm.waiting) }
+
+// NextWakeAt returns the earliest cycle at which a currently waiting warp
+// becomes ready on its own (ignoring data-blocked warps, which are woken by
+// fills). It returns -1 when no warp is in the timed-wait state.
+func (sm *SM) NextWakeAt() int64 {
+	next := int64(-1)
+	for _, w := range sm.warps {
+		if w.State == WarpWaiting {
+			if next < 0 || w.WakeAt < next {
+				next = w.WakeAt
+			}
+		}
+	}
+	return next
+}
+
+// HasReadyWarp reports whether any warp can issue at the given cycle.
+func (sm *SM) HasReadyWarp(now int64) bool {
+	for _, w := range sm.warps {
+		if !w.Done() && w.ReadyAt(now) {
+			return true
+		}
+	}
+	return false
+}
+
+// pickWarp implements the greedy-then-oldest scheduling policy: keep issuing
+// from the current warp while it is ready, otherwise fall back to the oldest
+// (lowest last-issue time) ready warp.
+func (sm *SM) pickWarp(now int64) *Warp {
+	if g := sm.warps[sm.greedyWarp]; !g.Done() && g.ReadyAt(now) {
+		return g
+	}
+	var best *Warp
+	for _, w := range sm.warps {
+		if w.Done() || !w.ReadyAt(now) {
+			continue
+		}
+		if best == nil || w.lastIssue < best.lastIssue {
+			best = w
+		}
+	}
+	if best != nil {
+		sm.greedyWarp = best.ID
+	}
+	return best
+}
+
+// Cycle advances the SM by one cycle: the L1D retires background work, warps
+// whose wake-up time passed become ready, and the scheduler issues at most
+// one instruction.
+func (sm *SM) Cycle(now int64) {
+	sm.stats.Cycles++
+	sm.l1d.Tick(now)
+
+	w := sm.pickWarp(now)
+	if w == nil {
+		sm.stats.NoReadyWarpCycles++
+		if len(sm.waiting) > 0 {
+			sm.stats.MemWaitCycles++
+		}
+		return
+	}
+
+	ins := sm.pending[w.ID]
+	if ins == nil {
+		next := sm.kernel.Next(w.ID)
+		ins = &next
+	}
+
+	if !ins.IsMem {
+		sm.pending[w.ID] = nil
+		w.lastIssue = now
+		w.RetireOne()
+		sm.stats.Issued++
+		return
+	}
+
+	req := mem.Request{
+		Addr:  ins.Addr,
+		PC:    ins.PC,
+		Kind:  ins.Kind,
+		Size:  mem.BlockSize,
+		SM:    sm.ID,
+		Warp:  w.ID,
+		Issue: now,
+		ID:    sm.nextReqID,
+	}
+	sm.nextReqID++
+	res := sm.l1d.Access(req, now)
+	switch res.Outcome {
+	case core.OutcomeStall:
+		// Keep the instruction pending; the warp retries next cycle. When
+		// the rejection happens while fills are outstanding it is, in
+		// effect, back-pressure from the off-chip memory system (MSHR or
+		// queue full), so it also counts toward the off-chip wait time.
+		sm.pending[w.ID] = ins
+		sm.stats.L1DStallCycles++
+		if len(sm.waiting) > 0 {
+			sm.stats.MemWaitCycles++
+		}
+		return
+	case core.OutcomeHit:
+		sm.pending[w.ID] = nil
+		w.lastIssue = now
+		w.RetireOne()
+		sm.stats.Issued++
+		sm.stats.MemInstructions++
+		if !w.Done() {
+			w.BlockFor(now, res.Latency)
+		}
+	case core.OutcomeMiss, core.OutcomeMissMerged, core.OutcomeBypass:
+		sm.pending[w.ID] = nil
+		w.lastIssue = now
+		w.RetireOne()
+		sm.stats.Issued++
+		sm.stats.MemInstructions++
+		block := req.BlockAddr()
+		if !w.Done() {
+			w.BlockOnData(block)
+			sm.waiting[block] = append(sm.waiting[block], w.ID)
+		}
+	}
+}
+
+// PopOutgoing drains one outgoing request (miss or write-back) from the L1D.
+func (sm *SM) PopOutgoing() (mem.Request, bool) { return sm.l1d.PopOutgoing() }
+
+// DeliverFill hands a returning block to the L1D and wakes every warp that
+// was blocked on it.
+func (sm *SM) DeliverFill(block uint64, now int64) int {
+	woken := sm.l1d.Fill(block, now)
+	ids := sm.waiting[block]
+	delete(sm.waiting, block)
+	for _, id := range ids {
+		sm.warps[id].Wake()
+	}
+	// Warps recorded in the MSHR (merged requests) may belong to this SM as
+	// well; the waiting map already covers them, so the returned slice is
+	// only used for its length (diagnostics).
+	_ = woken
+	return len(ids)
+}
+
+// Reset restores the SM to its initial state, keeping the kernel position.
+func (sm *SM) Reset() {
+	for i, w := range sm.warps {
+		*w = Warp{ID: i, Budget: w.Budget}
+		sm.pending[i] = nil
+	}
+	sm.waiting = make(map[uint64][]int)
+	sm.greedyWarp = 0
+	sm.stats = SMStats{}
+	sm.l1d.Reset()
+}

@@ -1,0 +1,106 @@
+// Package gpu models the streaming multiprocessors of the GPU: warps, the
+// greedy-then-oldest warp scheduler, the single-ported load/store path into
+// the L1D cache, and the per-SM performance accounting (issued instructions,
+// stall breakdown). Together with the memory hierarchy packages it forms the
+// cycle-level simulator that stands in for GPGPU-Sim in the paper's
+// methodology.
+package gpu
+
+import "fmt"
+
+// WarpState is the scheduling state of a warp.
+type WarpState uint8
+
+const (
+	// WarpReady means the warp can issue an instruction this cycle.
+	WarpReady WarpState = iota
+	// WarpWaiting means the warp is blocked until its wake-up cycle (short
+	// execution latency or an L1D hit in flight).
+	WarpWaiting
+	// WarpWaitingData means the warp is blocked on an outstanding memory
+	// fill and will be woken explicitly when the fill arrives.
+	WarpWaitingData
+	// WarpDone means the warp has retired its entire instruction budget.
+	WarpDone
+)
+
+// String implements fmt.Stringer.
+func (s WarpState) String() string {
+	switch s {
+	case WarpReady:
+		return "ready"
+	case WarpWaiting:
+		return "waiting"
+	case WarpWaitingData:
+		return "waiting-data"
+	case WarpDone:
+		return "done"
+	default:
+		return fmt.Sprintf("WarpState(%d)", uint8(s))
+	}
+}
+
+// Warp is one 32-thread SIMT group resident on an SM.
+type Warp struct {
+	// ID is the warp index within its SM.
+	ID int
+	// State is the current scheduling state.
+	State WarpState
+	// WakeAt is the cycle at which a WarpWaiting warp becomes ready again.
+	WakeAt int64
+	// Issued counts the dynamic instructions the warp has issued.
+	Issued uint64
+	// Budget is the number of instructions the warp executes before it is
+	// done.
+	Budget uint64
+	// PendingBlock is the block address the warp is waiting on when in
+	// WarpWaitingData (zero otherwise).
+	PendingBlock uint64
+	// lastIssue is used by the greedy-then-oldest scheduler.
+	lastIssue int64
+}
+
+// Done reports whether the warp has retired its budget.
+func (w *Warp) Done() bool { return w.State == WarpDone }
+
+// ReadyAt reports whether the warp can issue at the given cycle, promoting
+// WarpWaiting warps whose wake-up time has passed.
+func (w *Warp) ReadyAt(now int64) bool {
+	if w.State == WarpWaiting && w.WakeAt <= now {
+		w.State = WarpReady
+	}
+	return w.State == WarpReady
+}
+
+// BlockOnData parks the warp until the fill for the given block arrives.
+func (w *Warp) BlockOnData(block uint64) {
+	w.State = WarpWaitingData
+	w.PendingBlock = block
+}
+
+// BlockFor parks the warp for a fixed number of cycles starting at now.
+func (w *Warp) BlockFor(now int64, cycles int) {
+	if cycles <= 0 {
+		w.State = WarpReady
+		return
+	}
+	w.State = WarpWaiting
+	w.WakeAt = now + int64(cycles)
+}
+
+// Wake makes a data-blocked warp ready again (called on fill delivery).
+func (w *Warp) Wake() {
+	if w.State == WarpWaitingData {
+		w.State = WarpReady
+		w.PendingBlock = 0
+	}
+}
+
+// RetireOne counts one issued instruction and marks the warp done when its
+// budget is exhausted.
+func (w *Warp) RetireOne() {
+	w.Issued++
+	if w.Issued >= w.Budget {
+		w.State = WarpDone
+	}
+}

@@ -1,0 +1,252 @@
+// Package l2 models the shared, banked L2 cache that sits between the
+// interconnection network and the GDDR5 DRAM. Every bank is a set-associative
+// write-back cache with its own access port; an L2 miss is serviced by the
+// DRAM channel the bank is attached to (two L2 banks per channel in the
+// paper's baseline). The L2 access latency includes the ECC overhead that
+// makes it far slower than the L1D (Section II-A2).
+package l2
+
+import (
+	"fmt"
+
+	"fuse/internal/cache"
+	"fuse/internal/dram"
+	"fuse/internal/mem"
+	"fuse/internal/stats"
+)
+
+// Config describes the shared L2 cache.
+type Config struct {
+	// Banks is the number of independently addressed banks.
+	Banks int
+	// TotalKB is the aggregate capacity across banks.
+	TotalKB int
+	// Ways is the associativity of each bank.
+	Ways int
+	// LatencyCycles is the bank access latency (tag + data + ECC).
+	LatencyCycles int
+	// PortOccupancy is the number of cycles an access occupies the bank
+	// port; the bank is pipelined, so this is much smaller than the access
+	// latency and determines the bank's throughput.
+	PortOccupancy int
+	// PendingLimit is the number of outstanding misses a bank can track.
+	PendingLimit int
+}
+
+// withDefaults fills zero fields with the paper's Table I values: 786 KB
+// across 12 banks, 8-way.
+func (c Config) withDefaults() Config {
+	if c.Banks <= 0 {
+		c.Banks = 12
+	}
+	if c.TotalKB <= 0 {
+		c.TotalKB = 786
+	}
+	if c.Ways <= 0 {
+		c.Ways = 8
+	}
+	if c.LatencyCycles <= 0 {
+		c.LatencyCycles = 30
+	}
+	if c.PortOccupancy <= 0 {
+		c.PortOccupancy = 2
+	}
+	if c.PendingLimit <= 0 {
+		c.PendingLimit = 64
+	}
+	return c
+}
+
+// bank is one L2 cache bank.
+type bank struct {
+	store   *cache.TagStore
+	portAt  int64
+	pending map[uint64]int64 // block -> completion time of the in-flight DRAM fill
+}
+
+// L2 is the shared cache; it owns a reference to the DRAM model so that a
+// miss can be charged the full off-chip latency.
+type L2 struct {
+	cfg   Config
+	banks []*bank
+	dram  *dram.DRAM
+
+	accesses  stats.Counter
+	hits      stats.Counter
+	misses    stats.Counter
+	writes    stats.Counter
+	wbToDRAM  stats.Counter
+	mergedFly stats.Counter
+}
+
+// New builds an L2 cache backed by the given DRAM model. The DRAM model must
+// not be nil.
+func New(cfg Config, d *dram.DRAM) *L2 {
+	cfg = cfg.withDefaults()
+	if d == nil {
+		panic("l2: nil DRAM")
+	}
+	l := &L2{cfg: cfg, dram: d}
+	blocksPerBank := cfg.TotalKB * 1024 / mem.BlockSize / cfg.Banks
+	if blocksPerBank < cfg.Ways {
+		blocksPerBank = cfg.Ways
+	}
+	sets := blocksPerBank / cfg.Ways
+	if sets < 1 {
+		sets = 1
+	}
+	l.banks = make([]*bank, cfg.Banks)
+	for i := range l.banks {
+		l.banks[i] = &bank{
+			store:   cache.NewTagStore(sets, cfg.Ways, cache.LRU),
+			pending: make(map[uint64]int64),
+		}
+	}
+	return l
+}
+
+// Config returns the effective configuration.
+func (l *L2) Config() Config { return l.cfg }
+
+// Banks returns the number of banks.
+func (l *L2) Banks() int { return l.cfg.Banks }
+
+// BankFor maps a block address to its bank.
+func (l *L2) BankFor(addr uint64) int {
+	return int(mem.BlockIndex(addr)) % l.cfg.Banks
+}
+
+// ChannelForBank maps an L2 bank to its DRAM channel (banks are distributed
+// evenly across channels: 12 banks / 6 channels = 2 banks per channel).
+func (l *L2) ChannelForBank(bankIdx int) int {
+	perChannel := l.cfg.Banks / l.dram.Channels()
+	if perChannel <= 0 {
+		perChannel = 1
+	}
+	return (bankIdx / perChannel) % l.dram.Channels()
+}
+
+// Result describes how the L2 handled a request.
+type Result struct {
+	// Hit reports whether the block was present in the bank.
+	Hit bool
+	// Done is the cycle at which the requested data is available at the
+	// bank's port (ready to be sent back across the NoC).
+	Done int64
+}
+
+// Access presents a request arriving at the L2 at cycle `now`. Reads return
+// the availability time of the data; writes (write-backs from the L1D) are
+// absorbed by the bank and, on a miss, allocate the line without fetching
+// from DRAM (the entire block is being overwritten).
+func (l *L2) Access(req mem.Request, now int64) Result {
+	l.accesses.Inc()
+	block := req.BlockAddr()
+	b := l.banks[l.BankFor(block)]
+
+	// Serialise on the bank port: the bank is pipelined, so an access only
+	// occupies the port for PortOccupancy cycles even though its latency is
+	// LatencyCycles.
+	start := now
+	if b.portAt > start {
+		start = b.portAt
+	}
+	ready := start + int64(l.cfg.LatencyCycles)
+	b.portAt = start + int64(l.cfg.PortOccupancy)
+
+	write := req.Kind == mem.Write
+	if write {
+		l.writes.Inc()
+	}
+
+	if _, hit := b.store.Touch(block, now, write); hit {
+		l.hits.Inc()
+		return Result{Hit: true, Done: ready}
+	}
+
+	// A miss that is already being fetched from DRAM merges with the
+	// in-flight fill.
+	if doneAt, ok := b.pending[block]; ok && doneAt > now {
+		l.mergedFly.Inc()
+		l.hits.Inc() // counts as a hit for miss-rate purposes: no new DRAM access
+		if doneAt > ready {
+			ready = doneAt
+		}
+		return Result{Hit: true, Done: ready}
+	}
+
+	l.misses.Inc()
+	if write {
+		// Write-back miss: allocate without fetching (full-block write).
+		l.insert(b, block, req.PC, now, true)
+		return Result{Hit: false, Done: ready}
+	}
+
+	// Read miss: fetch from DRAM, then insert.
+	dramDone := l.dram.Access(block, false, ready)
+	l.insert(b, block, req.PC, dramDone, false)
+	b.pending[block] = dramDone
+	// Garbage-collect stale pending entries opportunistically.
+	if len(b.pending) > l.cfg.PendingLimit {
+		for k, v := range b.pending {
+			if v <= now {
+				delete(b.pending, k)
+			}
+		}
+	}
+	return Result{Hit: false, Done: dramDone}
+}
+
+// insert allocates a block in the bank and writes back any dirty victim to
+// DRAM.
+func (l *L2) insert(b *bank, block, pc uint64, now int64, dirty bool) {
+	evicted, line := b.store.Insert(block, pc, now, dirty, mem.WORM)
+	line.Dirty = dirty
+	if evicted.Valid && evicted.Dirty {
+		l.wbToDRAM.Inc()
+		l.dram.Access(evicted.Block, true, now)
+	}
+}
+
+// Accesses returns the number of requests handled.
+func (l *L2) Accesses() uint64 { return l.accesses.Value() }
+
+// Hits returns the number of L2 hits (including merges with in-flight fills).
+func (l *L2) Hits() uint64 { return l.hits.Value() }
+
+// Misses returns the number of L2 misses that went to DRAM.
+func (l *L2) Misses() uint64 { return l.misses.Value() }
+
+// MissRate returns misses / accesses.
+func (l *L2) MissRate() float64 {
+	if l.accesses.Value() == 0 {
+		return 0
+	}
+	return float64(l.misses.Value()) / float64(l.accesses.Value())
+}
+
+// WritebacksToDRAM returns the number of dirty L2 victims written to DRAM.
+func (l *L2) WritebacksToDRAM() uint64 { return l.wbToDRAM.Value() }
+
+// DRAM exposes the backing DRAM model.
+func (l *L2) DRAM() *dram.DRAM { return l.dram }
+
+// Reset clears every bank and statistic (the DRAM model is reset separately).
+func (l *L2) Reset() {
+	for _, b := range l.banks {
+		b.store.Reset()
+		b.portAt = 0
+		b.pending = make(map[uint64]int64)
+	}
+	l.accesses.Reset()
+	l.hits.Reset()
+	l.misses.Reset()
+	l.writes.Reset()
+	l.wbToDRAM.Reset()
+	l.mergedFly.Reset()
+}
+
+// String describes the configuration.
+func (l *L2) String() string {
+	return fmt.Sprintf("L2{%d KB, %d banks, %d-way, %d-cycle}", l.cfg.TotalKB, l.cfg.Banks, l.cfg.Ways, l.cfg.LatencyCycles)
+}

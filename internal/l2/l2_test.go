@@ -1,0 +1,178 @@
+package l2
+
+import (
+	"strings"
+	"testing"
+
+	"fuse/internal/dram"
+	"fuse/internal/mem"
+)
+
+func newL2() *L2 {
+	return New(Config{}, dram.New(dram.Config{}))
+}
+
+func read(addr uint64) mem.Request {
+	return mem.Request{Addr: addr, Kind: mem.Read, Size: mem.BlockSize}
+}
+func write(addr uint64) mem.Request {
+	return mem.Request{Addr: addr, Kind: mem.Write, Size: mem.BlockSize}
+}
+
+func TestDefaultsMatchTableI(t *testing.T) {
+	l := newL2()
+	cfg := l.Config()
+	if cfg.Banks != 12 || cfg.TotalKB != 786 || cfg.Ways != 8 {
+		t.Errorf("L2 defaults should match Table I: %+v", cfg)
+	}
+	if l.Banks() != 12 {
+		t.Errorf("Banks() = %d", l.Banks())
+	}
+	if !strings.Contains(l.String(), "L2") {
+		t.Errorf("String should describe the cache")
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	l := newL2()
+	r1 := l.Access(read(0x10000), 0)
+	if r1.Hit {
+		t.Fatalf("cold access should miss")
+	}
+	if r1.Done <= int64(l.Config().LatencyCycles) {
+		t.Errorf("miss should include DRAM latency, done at %d", r1.Done)
+	}
+	r2 := l.Access(read(0x10000), r1.Done+1)
+	if !r2.Hit {
+		t.Fatalf("second access should hit")
+	}
+	hitLat := r2.Done - (r1.Done + 1)
+	missLat := r1.Done
+	if hitLat >= missLat {
+		t.Errorf("L2 hit (%d) should be much faster than miss (%d)", hitLat, missLat)
+	}
+	if l.Hits() != 1 || l.Misses() != 1 || l.Accesses() != 2 {
+		t.Errorf("counters wrong: hits=%d misses=%d accesses=%d", l.Hits(), l.Misses(), l.Accesses())
+	}
+	if l.MissRate() != 0.5 {
+		t.Errorf("MissRate = %v, want 0.5", l.MissRate())
+	}
+}
+
+func TestInFlightMissesMerge(t *testing.T) {
+	l := newL2()
+	r1 := l.Access(read(0x20000), 0)
+	// A second read of the same block before the DRAM fill returns must not
+	// trigger a second DRAM access.
+	dramBefore := l.DRAM().Accesses()
+	r2 := l.Access(read(0x20000), 5)
+	if l.DRAM().Accesses() != dramBefore {
+		t.Errorf("merged miss must not access DRAM again")
+	}
+	if r2.Done < r1.Done-int64(l.Config().LatencyCycles) {
+		t.Errorf("merged request cannot complete before the fill it merged with")
+	}
+}
+
+func TestWritebackMissAllocatesWithoutDRAMRead(t *testing.T) {
+	l := newL2()
+	before := l.DRAM().Accesses()
+	res := l.Access(write(0x30000), 0)
+	if res.Hit {
+		t.Fatalf("cold write-back should miss")
+	}
+	if l.DRAM().Accesses() != before {
+		t.Errorf("full-block write-back should not read DRAM")
+	}
+	// The block is now present.
+	if res := l.Access(read(0x30000), 100); !res.Hit {
+		t.Errorf("written-back block should hit on the next read")
+	}
+}
+
+func TestBankMapping(t *testing.T) {
+	l := newL2()
+	if l.BankFor(0) == l.BankFor(mem.BlockSize) {
+		t.Errorf("consecutive blocks should map to different banks")
+	}
+	if l.BankFor(0x8000) != l.BankFor(0x8000) {
+		t.Errorf("bank mapping must be deterministic")
+	}
+	// 12 banks over 6 channels: 2 banks per channel, channels in range.
+	seen := map[int]bool{}
+	for b := 0; b < l.Banks(); b++ {
+		ch := l.ChannelForBank(b)
+		if ch < 0 || ch >= l.DRAM().Channels() {
+			t.Errorf("channel out of range for bank %d: %d", b, ch)
+		}
+		seen[ch] = true
+	}
+	if len(seen) != l.DRAM().Channels() {
+		t.Errorf("banks should cover all channels, covered %d", len(seen))
+	}
+}
+
+func TestBankPortSerialises(t *testing.T) {
+	l := newL2()
+	// Two requests to the same bank at the same cycle serialise on the port.
+	addr := uint64(0x40000)
+	l.Access(read(addr), 0)
+	warm := l.Access(read(addr), 0)
+	fresh := newL2()
+	fresh.Access(read(addr), 0)
+	single := fresh.Access(read(addr), 1000) // hit on an idle port
+	if warm.Done-0 <= single.Done-1000 {
+		t.Errorf("port contention should delay the second request: %d vs %d", warm.Done, single.Done-1000)
+	}
+}
+
+func TestDirtyEvictionWritesBackToDRAM(t *testing.T) {
+	cfg := Config{Banks: 1, TotalKB: 1, Ways: 2, LatencyCycles: 10}
+	l := New(cfg, dram.New(dram.Config{}))
+	// Dirty a block, then displace it by filling the (tiny) bank.
+	l.Access(write(0), 0)
+	now := int64(100)
+	for i := 1; i < 64; i++ {
+		l.Access(read(uint64(i)*mem.BlockSize), now)
+		now += 50
+	}
+	if l.WritebacksToDRAM() == 0 {
+		t.Errorf("displacing dirty blocks should write back to DRAM")
+	}
+	if l.DRAM().Writes() == 0 {
+		t.Errorf("DRAM should have received write traffic")
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	l := newL2()
+	l.Access(read(0x1000), 0)
+	l.Access(write(0x2000), 10)
+	l.Reset()
+	if l.Accesses() != 0 || l.Hits() != 0 || l.Misses() != 0 || l.MissRate() != 0 {
+		t.Errorf("Reset should clear statistics")
+	}
+	if res := l.Access(read(0x1000), 0); res.Hit {
+		t.Errorf("cache should be cold after Reset")
+	}
+}
+
+func TestConfigClamping(t *testing.T) {
+	l := New(Config{Banks: -1, TotalKB: 0, Ways: 0, LatencyCycles: 0, PendingLimit: 0}, dram.New(dram.Config{}))
+	cfg := l.Config()
+	if cfg.Banks <= 0 || cfg.TotalKB <= 0 || cfg.Ways <= 0 || cfg.LatencyCycles <= 0 {
+		t.Errorf("invalid configuration should clamp: %+v", cfg)
+	}
+	if res := l.Access(read(0), 0); res.Done <= 0 {
+		t.Errorf("clamped L2 should still serve requests")
+	}
+}
+
+func TestNilDRAMPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic for nil DRAM")
+		}
+	}()
+	New(Config{}, nil)
+}

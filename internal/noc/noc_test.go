@@ -1,0 +1,171 @@
+package noc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultsMatchPaper(t *testing.T) {
+	n := New(Config{})
+	cfg := n.Config()
+	if cfg.SMNodes != 15 || cfg.MemNodes != 12 {
+		t.Errorf("default topology should be 15 SMs + 12 L2 banks, got %+v", cfg)
+	}
+	if n.Nodes() != 27 {
+		t.Errorf("paper's butterfly has 27 nodes, got %d", n.Nodes())
+	}
+	if n.Stages() < 2 {
+		t.Errorf("butterfly over 15 endpoints should need at least 2 stages of radix-4 routers")
+	}
+	if !strings.Contains(n.String(), "butterfly") {
+		t.Errorf("String should describe the topology")
+	}
+}
+
+func TestZeroLoadLatency(t *testing.T) {
+	n := New(Config{})
+	small := n.ZeroLoadLatency(32)
+	big := n.ZeroLoadLatency(128)
+	if small <= 0 {
+		t.Errorf("zero-load latency must be positive")
+	}
+	if big <= small {
+		t.Errorf("larger packets should take longer: %d vs %d", big, small)
+	}
+}
+
+func TestSendRequestDeliversAfterZeroLoadLatency(t *testing.T) {
+	n := New(Config{})
+	arrive := n.SendRequest(0, 0, 32, 100)
+	if arrive < 100+n.ZeroLoadLatency(32) {
+		t.Errorf("delivery %d earlier than zero-load latency %d", arrive-100, n.ZeroLoadLatency(32))
+	}
+	req, resp := n.Packets()
+	if req != 1 || resp != 0 {
+		t.Errorf("packet accounting wrong: %d req %d resp", req, resp)
+	}
+	if n.BytesMoved() != 32 {
+		t.Errorf("BytesMoved = %d", n.BytesMoved())
+	}
+	if n.AverageLatency() <= 0 {
+		t.Errorf("average latency should be positive")
+	}
+}
+
+func TestContentionSerialisesPackets(t *testing.T) {
+	n := New(Config{})
+	// Many SMs sending large responses... use requests all to the same bank
+	// at the same cycle: they share the final link and must serialise.
+	var last int64
+	for sm := 0; sm < 15; sm++ {
+		arrive := n.SendRequest(sm, 3, 128, 0)
+		if arrive > last {
+			last = arrive
+		}
+	}
+	single := New(Config{}).SendRequest(0, 3, 128, 0)
+	if last <= single {
+		t.Errorf("15 simultaneous packets to one bank should finish later than a single packet: %d vs %d", last, single)
+	}
+	if n.LinkUtilisation(last) <= 0 {
+		t.Errorf("link utilisation should be positive under load")
+	}
+}
+
+func TestRequestAndResponseNetworksAreIndependent(t *testing.T) {
+	n := New(Config{})
+	// Saturate the request network.
+	for i := 0; i < 50; i++ {
+		n.SendRequest(1, 2, 128, 0)
+	}
+	// A response should still see an idle network.
+	arrive := n.SendResponse(2, 1, 128, 0)
+	if arrive > n.ZeroLoadLatency(128) {
+		t.Errorf("response network should not be congested by request traffic: arrive=%d", arrive)
+	}
+}
+
+func TestDeterministicRouting(t *testing.T) {
+	n1 := New(Config{})
+	n2 := New(Config{})
+	for sm := 0; sm < 15; sm++ {
+		for bank := 0; bank < 12; bank++ {
+			a := n1.SendRequest(sm, bank, 64, 1000)
+			b := n2.SendRequest(sm, bank, 64, 1000)
+			if a != b {
+				t.Fatalf("routing must be deterministic: sm=%d bank=%d %d vs %d", sm, bank, a, b)
+			}
+		}
+	}
+}
+
+func TestDeliveryNeverBeforeInjection(t *testing.T) {
+	prop := func(sm, bank uint8, bytes uint16, now uint32) bool {
+		n := New(Config{})
+		arrive := n.SendRequest(int(sm), int(bank), int(bytes%512), int64(now))
+		return arrive > int64(now)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMonotonicLinkReservation(t *testing.T) {
+	// Packets injected later on the same path never arrive earlier than
+	// packets injected earlier.
+	n := New(Config{})
+	prev := int64(0)
+	for i := 0; i < 64; i++ {
+		arrive := n.SendRequest(2, 5, 128, int64(i))
+		if arrive < prev {
+			t.Fatalf("later packet arrived earlier: %d < %d", arrive, prev)
+		}
+		prev = arrive
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	n := New(Config{})
+	n.SendRequest(0, 0, 128, 0)
+	n.SendResponse(0, 0, 128, 0)
+	n.Reset()
+	req, resp := n.Packets()
+	if req != 0 || resp != 0 || n.BytesMoved() != 0 || n.AverageLatency() != 0 {
+		t.Errorf("Reset should clear statistics")
+	}
+	if n.LinkUtilisation(100) != 0 {
+		t.Errorf("Reset should clear link occupancy")
+	}
+	// After reset the network behaves as if idle.
+	if got := n.SendRequest(0, 0, 32, 0); got > n.ZeroLoadLatency(32) {
+		t.Errorf("post-reset send should see an idle network")
+	}
+}
+
+func TestConfigClamping(t *testing.T) {
+	n := New(Config{SMNodes: -1, MemNodes: 0, Radix: 0, HopLatency: -5, FlitBytes: 0})
+	cfg := n.Config()
+	if cfg.SMNodes <= 0 || cfg.MemNodes <= 0 || cfg.Radix <= 1 || cfg.HopLatency <= 0 || cfg.FlitBytes <= 0 {
+		t.Errorf("invalid configuration should be clamped: %+v", cfg)
+	}
+	if n.flits(0) != 1 {
+		t.Errorf("zero-byte packets still occupy one flit")
+	}
+	if n.LinkUtilisation(0) != 0 {
+		t.Errorf("utilisation at cycle 0 should be 0")
+	}
+	if n.AverageLatency() != 0 {
+		t.Errorf("average latency with no packets should be 0")
+	}
+}
+
+func TestVoltaStyleWiderLinksAreFaster(t *testing.T) {
+	narrow := New(Config{FlitBytes: 32})
+	wide := New(Config{FlitBytes: 64})
+	a := narrow.SendResponse(0, 0, 128, 0)
+	b := wide.SendResponse(0, 0, 128, 0)
+	if b >= a {
+		t.Errorf("wider links should deliver 128B responses faster: %d vs %d", b, a)
+	}
+}

@@ -1,0 +1,271 @@
+package predictor
+
+import (
+	"testing"
+
+	"fuse/internal/mem"
+)
+
+// sampledWarp returns a warp number that the default configuration samples
+// into sampler set 0.
+const sampledWarp = 0
+
+func rlReq(block int, pc uint64, kind mem.AccessKind, warp int) mem.Request {
+	return mem.Request{Addr: uint64(block) * mem.BlockSize, PC: pc, Kind: kind, Warp: warp}
+}
+
+func TestSignatureStable(t *testing.T) {
+	if Signature(0x400, 1024) != Signature(0x400, 1024) {
+		t.Errorf("signature must be deterministic")
+	}
+	if Signature(0x400, 1024) == Signature(0x404, 1024) {
+		t.Errorf("adjacent instructions should map to different signatures")
+	}
+	if Signature(0x400, 0) != 0 {
+		t.Errorf("zero-size table should clamp to 0")
+	}
+	for pc := uint64(0); pc < 1<<16; pc += 4 {
+		s := Signature(pc, 1024)
+		if s < 0 || s >= 1024 {
+			t.Fatalf("signature out of range: %d", s)
+		}
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	p := NewReadLevelPredictor(Config{})
+	cfg := p.Config()
+	if cfg.SamplerSets != 4 || cfg.SamplerWays != 8 {
+		t.Errorf("sampler defaults wrong: %+v", cfg)
+	}
+	if cfg.HistoryEntries != 1024 || cfg.UnusedThreshold != 14 || cfg.InitialCounter != 8 {
+		t.Errorf("history defaults wrong: %+v", cfg)
+	}
+	if cfg.WarpsPerSM != 48 || cfg.SampledWarps != 4 {
+		t.Errorf("warp sampling defaults wrong: %+v", cfg)
+	}
+}
+
+func TestInitialPredictionIsNeutral(t *testing.T) {
+	p := NewReadLevelPredictor(Config{})
+	if got := p.Predict(0x1000); got != mem.ReadIntensive {
+		t.Errorf("untrained prediction = %v, want read-intensive (neutral)", got)
+	}
+	if !p.Neutral(0x1000) {
+		t.Errorf("untrained prediction should be neutral")
+	}
+	if p.Predictions() != 1 {
+		t.Errorf("prediction counter should increment")
+	}
+}
+
+func TestLearnsWORMPattern(t *testing.T) {
+	// Blocks filled by PC 0x800 are re-read many times by other PCs: the
+	// predictor should converge to WORM for PC 0x800.
+	p := NewReadLevelPredictor(Config{})
+	fillPC := uint64(0x800)
+	readPC := uint64(0x900)
+	for i := 0; i < 64; i++ {
+		block := 1000 + i
+		p.Observe(rlReq(block, fillPC, mem.Write, sampledWarp))
+		for r := 0; r < 4; r++ {
+			p.Observe(rlReq(block, readPC, mem.Read, sampledWarp))
+		}
+	}
+	if got := p.Predict(fillPC); got != mem.WORM {
+		t.Errorf("Predict(fill PC) = %v, want WORM (counter=%d)", got, p.CounterOf(fillPC))
+	}
+	if p.Neutral(fillPC) {
+		t.Errorf("trained WORM prediction should not be neutral")
+	}
+	if p.SamplerHits() == 0 {
+		t.Errorf("sampler should have observed reuse hits")
+	}
+}
+
+func TestLearnsWMPattern(t *testing.T) {
+	// Blocks touched by PC 0xA00 are written over and over: predict WM.
+	p := NewReadLevelPredictor(Config{})
+	pc := uint64(0xA00)
+	for i := 0; i < 64; i++ {
+		block := 2000 + i%8 // small, write-hot working set
+		p.Observe(rlReq(block, pc, mem.Write, sampledWarp))
+	}
+	if got := p.Predict(pc); got != mem.WriteMultiple {
+		t.Errorf("Predict(WM PC) = %v, want WM (counter=%d)", got, p.CounterOf(pc))
+	}
+}
+
+func TestLearnsWOROPattern(t *testing.T) {
+	// Blocks touched by PC 0xC00 are streamed through exactly once: the
+	// sampler keeps evicting unused entries, driving the counter up to the
+	// WORO threshold.
+	p := NewReadLevelPredictor(Config{})
+	pc := uint64(0xC00)
+	for i := 0; i < 400; i++ {
+		p.Observe(rlReq(5000+i, pc, mem.Read, sampledWarp))
+	}
+	if got := p.Predict(pc); got != mem.WORO {
+		t.Errorf("Predict(streaming PC) = %v, want WORO (counter=%d)", got, p.CounterOf(pc))
+	}
+	if p.UnusedEvictions() == 0 {
+		t.Errorf("streaming should cause unused sampler evictions")
+	}
+}
+
+func TestNonSampledWarpsIgnored(t *testing.T) {
+	p := NewReadLevelPredictor(Config{})
+	before := p.CounterOf(0xE00)
+	// Warp 5 is not one of the 4 representative warps (stride 12).
+	for i := 0; i < 100; i++ {
+		p.Observe(rlReq(7000+i, 0xE00, mem.Read, 5))
+	}
+	if p.CounterOf(0xE00) != before {
+		t.Errorf("non-sampled warps should not change the history table")
+	}
+	if p.SamplerEvictions() != 0 {
+		t.Errorf("non-sampled warps should not touch the sampler")
+	}
+}
+
+func TestMultipleSampledWarpsUseDifferentSets(t *testing.T) {
+	p := NewReadLevelPredictor(Config{})
+	// Warps 0, 12, 24, 36 are sampled under the default 48-warp config.
+	for _, warp := range []int{0, 12, 24, 36} {
+		if _, ok := p.warpSampled(warp); !ok {
+			t.Errorf("warp %d should be sampled", warp)
+		}
+	}
+	s0, _ := p.warpSampled(0)
+	s1, _ := p.warpSampled(12)
+	if s0 == s1 {
+		t.Errorf("different representative warps should map to different sampler sets")
+	}
+}
+
+func TestPredictorReset(t *testing.T) {
+	p := NewReadLevelPredictor(Config{})
+	for i := 0; i < 100; i++ {
+		p.Observe(rlReq(i, 0xF00, mem.Read, sampledWarp))
+	}
+	p.Predict(0xF00)
+	p.Reset()
+	if p.Predictions() != 0 || p.SamplerHits() != 0 || p.SamplerEvictions() != 0 {
+		t.Errorf("Reset should clear statistics")
+	}
+	if p.CounterOf(0xF00) != p.Config().InitialCounter {
+		t.Errorf("Reset should restore initial counters")
+	}
+	if got := p.Predict(0xF00); got != mem.ReadIntensive {
+		t.Errorf("post-reset prediction should be neutral, got %v", got)
+	}
+}
+
+func TestJudge(t *testing.T) {
+	cases := []struct {
+		level   mem.ReadLevel
+		neutral bool
+		writes  uint64
+		want    Outcome
+	}{
+		{mem.WriteMultiple, false, 3, OutcomeTrue},
+		{mem.WriteMultiple, false, 1, OutcomeFalse},
+		{mem.WORM, false, 1, OutcomeTrue},
+		{mem.WORM, false, 2, OutcomeFalse},
+		{mem.WORO, false, 0, OutcomeTrue},
+		{mem.WORO, false, 5, OutcomeFalse},
+		{mem.ReadIntensive, false, 1, OutcomeNeutral},
+		{mem.WORM, true, 1, OutcomeNeutral},
+	}
+	for _, c := range cases {
+		if got := Judge(c.level, c.neutral, c.writes); got != c.want {
+			t.Errorf("Judge(%v, neutral=%v, writes=%d) = %v, want %v",
+				c.level, c.neutral, c.writes, got, c.want)
+		}
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if OutcomeTrue.String() != "true" || OutcomeFalse.String() != "false" || OutcomeNeutral.String() != "neutral" {
+		t.Errorf("unexpected outcome strings")
+	}
+	if Outcome(9).String() != "unknown" {
+		t.Errorf("unknown outcome should render as unknown")
+	}
+}
+
+func TestAccuracyTracker(t *testing.T) {
+	var a AccuracyTracker
+	a.Record(OutcomeTrue)
+	a.Record(OutcomeTrue)
+	a.Record(OutcomeFalse)
+	a.Record(OutcomeNeutral)
+	if a.Total() != 4 {
+		t.Errorf("Total = %d, want 4", a.Total())
+	}
+	tf, nf, ff := a.Fractions()
+	if tf != 0.5 || nf != 0.25 || ff != 0.25 {
+		t.Errorf("Fractions = %v %v %v", tf, nf, ff)
+	}
+	var empty AccuracyTracker
+	if tf, nf, ff := empty.Fractions(); tf != 0 || nf != 0 || ff != 0 {
+		t.Errorf("empty tracker should report zeros")
+	}
+}
+
+func TestDeadWritePredictorLearnsStreaming(t *testing.T) {
+	p := NewDeadWritePredictor(Config{})
+	pc := uint64(0x1200)
+	// Streaming blocks: written/read once, never reused.
+	for i := 0; i < 400; i++ {
+		p.Observe(rlReq(9000+i, pc, mem.Write, sampledWarp))
+	}
+	if !p.PredictDead(pc) {
+		t.Errorf("streaming PC should be predicted dead")
+	}
+	if p.BypassRatio() <= 0 {
+		t.Errorf("bypass ratio should be positive after a dead prediction")
+	}
+}
+
+func TestDeadWritePredictorLearnsReuse(t *testing.T) {
+	p := NewDeadWritePredictor(Config{})
+	pc := uint64(0x1300)
+	for i := 0; i < 64; i++ {
+		block := 100 + i%8
+		p.Observe(rlReq(block, pc, mem.Write, sampledWarp))
+		p.Observe(rlReq(block, 0x1400, mem.Read, sampledWarp))
+	}
+	if p.PredictDead(pc) {
+		t.Errorf("heavily reused PC should not be predicted dead")
+	}
+}
+
+func TestDeadWritePredictorIgnoresNonSampledWarps(t *testing.T) {
+	p := NewDeadWritePredictor(Config{})
+	for i := 0; i < 100; i++ {
+		p.Observe(rlReq(100+i, 0x1500, mem.Write, 7))
+	}
+	// The history should still be at its initial (alive) value.
+	if p.PredictDead(0x1500) {
+		t.Errorf("unsampled traffic should not train the predictor")
+	}
+}
+
+func TestDeadWritePredictorReset(t *testing.T) {
+	p := NewDeadWritePredictor(Config{})
+	for i := 0; i < 200; i++ {
+		p.Observe(rlReq(100+i, 0x1600, mem.Write, sampledWarp))
+	}
+	p.PredictDead(0x1600)
+	p.Reset()
+	if p.Predictions() != 0 || p.Bypasses() != 0 {
+		t.Errorf("Reset should clear statistics")
+	}
+	if p.PredictDead(0x1600) {
+		t.Errorf("Reset should restore the initial alive state")
+	}
+	if p.BypassRatio() != 0 {
+		t.Errorf("bypass ratio after reset+alive prediction should be 0")
+	}
+}

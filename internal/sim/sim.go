@@ -1,0 +1,323 @@
+// Package sim wires the whole GPU together: SMs with their private FUSE (or
+// baseline) L1D caches, the butterfly interconnect, the shared L2 banks and
+// the GDDR5 DRAM. It advances the SMs cycle by cycle while the memory side is
+// driven by a small event queue, and it produces the aggregate metrics every
+// paper figure is built from (IPC, L1D miss rate, stalls, outgoing traffic,
+// off-chip time, energy inputs).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"fuse/internal/config"
+	"fuse/internal/core"
+	"fuse/internal/dram"
+	"fuse/internal/gpu"
+	"fuse/internal/l2"
+	"fuse/internal/mem"
+	"fuse/internal/noc"
+	"fuse/internal/trace"
+)
+
+// Options controls a single simulation run.
+type Options struct {
+	// InstructionsPerWarp is the per-warp instruction budget.
+	InstructionsPerWarp uint64
+	// MaxCycles aborts the run if it has not finished by then (0 = default).
+	MaxCycles int64
+	// Seed seeds the workload generator.
+	Seed uint64
+	// SMOverride, when positive, simulates only this many SMs regardless of
+	// the GPU configuration. The per-SM behaviour is unchanged; memory-side
+	// contention scales accordingly. Used to keep the experiment harness
+	// fast; the cmd tools run the full SM count.
+	SMOverride int
+	// RequestBytes is the size of a request packet on the NoC.
+	RequestBytes int
+}
+
+// withDefaults fills in default values.
+func (o Options) withDefaults() Options {
+	if o.InstructionsPerWarp == 0 {
+		o.InstructionsPerWarp = 1000
+	}
+	if o.MaxCycles == 0 {
+		o.MaxCycles = 4_000_000
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.RequestBytes == 0 {
+		o.RequestBytes = 32
+	}
+	return o
+}
+
+// maxIntSim returns the larger of two ints.
+func maxIntSim(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// event is a memory-side event: a request arriving at an L2 bank or a
+// response arriving back at an SM.
+type event struct {
+	at    int64
+	kind  eventKind
+	sm    int
+	bank  int
+	req   mem.Request
+	block uint64
+}
+
+type eventKind uint8
+
+const (
+	evReqAtL2 eventKind = iota
+	evRespAtSM
+)
+
+// eventQueue is a min-heap ordered by event time.
+type eventQueue []event
+
+func (q eventQueue) Len() int            { return len(q) }
+func (q eventQueue) Less(i, j int) bool  { return q[i].at < q[j].at }
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// Simulator is one configured GPU plus one workload.
+type Simulator struct {
+	gpuCfg  config.GPUConfig
+	profile trace.Profile
+	opts    Options
+
+	sms  []*gpu.SM
+	net  *noc.Network
+	l2   *l2.L2
+	dram *dram.DRAM
+
+	events eventQueue
+	now    int64
+
+	// Latency decomposition of completed fills (Figure 1).
+	nocCycles int64
+	memCycles int64
+	fills     uint64
+}
+
+// New builds a simulator for the given GPU configuration and workload.
+func New(gpuCfg config.GPUConfig, profile trace.Profile, opts Options) (*Simulator, error) {
+	if err := gpuCfg.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if err := profile.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	opts = opts.withDefaults()
+	s := &Simulator{gpuCfg: gpuCfg, profile: profile, opts: opts}
+
+	smCount := gpuCfg.SMs
+	if opts.SMOverride > 0 && opts.SMOverride < smCount {
+		smCount = opts.SMOverride
+	}
+	// Weak scaling: when only a subset of the SMs is simulated, the shared
+	// memory side (L2 banks, DRAM channels, interconnect endpoints) is
+	// scaled down proportionally so that the per-SM bandwidth pressure —
+	// which is what makes these workloads off-chip bound — is preserved.
+	l2Banks := gpuCfg.L2Banks
+	l2KB := gpuCfg.L2KBTotal
+	channels := gpuCfg.DRAMChannels
+	if smCount < gpuCfg.SMs {
+		scale := float64(smCount) / float64(gpuCfg.SMs)
+		channels = maxIntSim(1, int(float64(gpuCfg.DRAMChannels)*scale+0.5))
+		banksPerChannel := maxIntSim(1, gpuCfg.L2Banks/gpuCfg.DRAMChannels)
+		l2Banks = channels * banksPerChannel
+		l2KB = maxIntSim(l2Banks, int(float64(gpuCfg.L2KBTotal)*scale+0.5))
+	}
+
+	s.dram = dram.New(dram.Config{
+		Channels: channels,
+		TCL:      gpuCfg.TCL,
+		TRCD:     gpuCfg.TRCD,
+		TRP:      gpuCfg.TRP,
+		TRAS:     gpuCfg.TRAS,
+	})
+	s.l2 = l2.New(l2.Config{
+		Banks:         l2Banks,
+		TotalKB:       l2KB,
+		Ways:          gpuCfg.L2Ways,
+		LatencyCycles: gpuCfg.L2LatencyCycles,
+	}, s.dram)
+	s.net = noc.New(noc.Config{
+		SMNodes:    smCount,
+		MemNodes:   l2Banks,
+		HopLatency: gpuCfg.NoCLatencyPerHop,
+		FlitBytes:  gpuCfg.NoCFlitBytes,
+	})
+
+	s.sms = make([]*gpu.SM, smCount)
+	for i := range s.sms {
+		l1d, err := core.New(gpuCfg.L1D)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		kernel := trace.NewKernel(profile, i, opts.Seed)
+		s.sms[i] = gpu.NewSM(i, gpuCfg.WarpsPerSM, opts.InstructionsPerWarp, kernel, l1d)
+	}
+	heap.Init(&s.events)
+	return s, nil
+}
+
+// SMs exposes the simulated SMs (for inspection by examples and tests).
+func (s *Simulator) SMs() []*gpu.SM { return s.sms }
+
+// L2 exposes the shared L2 cache.
+func (s *Simulator) L2() *l2.L2 { return s.l2 }
+
+// DRAM exposes the DRAM model.
+func (s *Simulator) DRAM() *dram.DRAM { return s.dram }
+
+// Network exposes the interconnect.
+func (s *Simulator) Network() *noc.Network { return s.net }
+
+// Now returns the current simulation cycle.
+func (s *Simulator) Now() int64 { return s.now }
+
+// schedule pushes an event onto the queue.
+func (s *Simulator) schedule(e event) { heap.Push(&s.events, e) }
+
+// processEvents handles every event due at or before the current cycle.
+func (s *Simulator) processEvents() {
+	for len(s.events) > 0 && s.events[0].at <= s.now {
+		e := heap.Pop(&s.events).(event)
+		switch e.kind {
+		case evReqAtL2:
+			res := s.l2.Access(e.req, e.at)
+			if e.req.Kind == mem.Write {
+				// Write-backs need no response.
+				continue
+			}
+			arrive := s.net.SendResponse(e.bank, e.sm, mem.BlockSize, res.Done)
+			s.nocCycles += (e.at - e.req.Issue) + (arrive - res.Done)
+			s.memCycles += res.Done - e.at
+			s.schedule(event{at: arrive, kind: evRespAtSM, sm: e.sm, block: e.req.BlockAddr()})
+		case evRespAtSM:
+			s.fills++
+			s.sms[e.sm].DeliverFill(e.block, e.at)
+		}
+	}
+}
+
+// drainOutgoing moves freshly generated misses and write-backs from every
+// SM's L1D into the interconnect.
+func (s *Simulator) drainOutgoing() {
+	for _, sm := range s.sms {
+		for {
+			req, ok := sm.PopOutgoing()
+			if !ok {
+				break
+			}
+			bank := s.l2.BankFor(req.BlockAddr())
+			bytes := s.opts.RequestBytes
+			if req.Kind == mem.Write {
+				bytes = mem.BlockSize
+			}
+			if req.Issue == 0 {
+				req.Issue = s.now
+			}
+			arrive := s.net.SendRequest(sm.ID, bank, bytes, s.now)
+			s.schedule(event{at: arrive, kind: evReqAtL2, sm: sm.ID, bank: bank, req: req})
+		}
+	}
+}
+
+// allDone reports whether every SM has retired its instruction budget.
+func (s *Simulator) allDone() bool {
+	for _, sm := range s.sms {
+		if !sm.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// Step advances the simulation by one cycle.
+func (s *Simulator) Step() {
+	s.processEvents()
+	for _, sm := range s.sms {
+		if !sm.Done() {
+			sm.Cycle(s.now)
+		}
+	}
+	s.drainOutgoing()
+	s.now++
+}
+
+// fastForwardTarget returns the next cycle at which something can happen when
+// every SM is idle: the earliest event or timed warp wake-up. It returns the
+// current cycle when progress is possible right now.
+func (s *Simulator) fastForwardTarget() int64 {
+	target := int64(-1)
+	consider := func(t int64) {
+		if t < 0 {
+			return
+		}
+		if target < 0 || t < target {
+			target = t
+		}
+	}
+	for _, sm := range s.sms {
+		if sm.Done() {
+			continue
+		}
+		if sm.HasReadyWarp(s.now) {
+			return s.now
+		}
+		consider(sm.NextWakeAt())
+	}
+	if len(s.events) > 0 {
+		consider(s.events[0].at)
+	}
+	if target < 0 || target <= s.now {
+		return s.now
+	}
+	return target
+}
+
+// Run executes the simulation to completion (or the cycle limit) and returns
+// the results.
+func (s *Simulator) Run() Result {
+	opts := s.opts
+	for !s.allDone() && s.now < opts.MaxCycles {
+		// Fast-forward across cycles in which no SM can issue: this keeps
+		// memory-bound runs cheap without changing their timing, because
+		// SM.Cycle still charges the skipped cycles to the stall counters.
+		if target := s.fastForwardTarget(); target > s.now+1 {
+			skipped := target - s.now - 1
+			for _, sm := range s.sms {
+				if sm.Done() {
+					continue
+				}
+				st := sm.Stats()
+				st.Cycles += uint64(skipped)
+				st.NoReadyWarpCycles += uint64(skipped)
+				if sm.OutstandingFills() > 0 {
+					st.MemWaitCycles += uint64(skipped)
+				}
+			}
+			s.now = target
+		}
+		s.Step()
+	}
+	return s.collect()
+}

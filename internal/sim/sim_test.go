@@ -1,0 +1,237 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"fuse/internal/config"
+	"fuse/internal/trace"
+)
+
+// quickOpts keeps unit-test runs small and fast.
+func quickOpts() Options {
+	return Options{InstructionsPerWarp: 300, Seed: 7, SMOverride: 2, MaxCycles: 2_000_000}
+}
+
+func mustRun(t *testing.T, kind config.L1DKind, workload string, opts Options) Result {
+	t.Helper()
+	res, err := RunWorkload(kind, workload, opts)
+	if err != nil {
+		t.Fatalf("RunWorkload(%v, %s): %v", kind, workload, err)
+	}
+	return res
+}
+
+func TestRunCompletesAndAccountsInstructions(t *testing.T) {
+	opts := quickOpts()
+	res := mustRun(t, config.L1SRAM, "2DCONV", opts)
+	wantInstr := uint64(opts.SMOverride) * 48 * opts.InstructionsPerWarp
+	if res.Instructions != wantInstr {
+		t.Errorf("Instructions = %d, want %d", res.Instructions, wantInstr)
+	}
+	if res.Cycles <= 0 || res.Cycles >= opts.MaxCycles {
+		t.Errorf("run should finish within the cycle limit, took %d", res.Cycles)
+	}
+	if res.IPC <= 0 {
+		t.Errorf("IPC should be positive, got %v", res.IPC)
+	}
+	if res.L1D.Accesses == 0 || res.L1DMissRate <= 0 || res.L1DMissRate > 1 {
+		t.Errorf("L1D stats implausible: accesses=%d missRate=%v", res.L1D.Accesses, res.L1DMissRate)
+	}
+	if res.SimulatedSMs != opts.SMOverride {
+		t.Errorf("SimulatedSMs = %d, want %d", res.SimulatedSMs, opts.SMOverride)
+	}
+	if res.Workload != "2DCONV" || res.L1DKind != config.L1SRAM {
+		t.Errorf("result identification wrong: %s %v", res.Workload, res.L1DKind)
+	}
+	if !strings.Contains(res.String(), "IPC") {
+		t.Errorf("String() should include the IPC")
+	}
+}
+
+func TestMissesReachL2AndDRAM(t *testing.T) {
+	res := mustRun(t, config.L1SRAM, "ATAX", quickOpts())
+	if res.L2Accesses == 0 {
+		t.Errorf("L1D misses should reach the L2")
+	}
+	if res.DRAMAccesses == 0 {
+		t.Errorf("L2 misses should reach DRAM")
+	}
+	if res.NoCRequests == 0 || res.NoCResponses == 0 {
+		t.Errorf("traffic should cross the interconnect: %d req %d resp", res.NoCRequests, res.NoCResponses)
+	}
+	if res.AvgFillNoC <= 0 || res.AvgFillMemory <= 0 {
+		t.Errorf("fill latency decomposition should be positive: noc=%v mem=%v", res.AvgFillNoC, res.AvgFillMemory)
+	}
+}
+
+func TestMemoryIntensiveWorkloadIsOffChipBound(t *testing.T) {
+	// Figure 1's observation: for memory-intensive workloads most of the
+	// execution time is spent on off-chip accesses with the baseline cache.
+	res := mustRun(t, config.L1SRAM, "ATAX", quickOpts())
+	if res.OffChipFraction < 0.4 {
+		t.Errorf("ATAX on L1-SRAM should be dominated by off-chip time, got %.2f", res.OffChipFraction)
+	}
+	if res.NetworkFraction+res.DRAMFraction > res.OffChipFraction+1e-9 {
+		t.Errorf("network+DRAM fractions cannot exceed the off-chip fraction")
+	}
+	// A compute-bound workload spends far less time off-chip.
+	light := mustRun(t, config.L1SRAM, "pathf", quickOpts())
+	if light.OffChipFraction >= res.OffChipFraction {
+		t.Errorf("pathf (APKI 1.2) should be less off-chip bound than ATAX: %.2f vs %.2f",
+			light.OffChipFraction, res.OffChipFraction)
+	}
+}
+
+func TestDyFUSEOutperformsL1SRAMOnIrregularWorkload(t *testing.T) {
+	// The headline result (Figure 13): Dy-FUSE beats the SRAM baseline on
+	// irregular, thrash-prone workloads.
+	opts := quickOpts()
+	base := mustRun(t, config.L1SRAM, "ATAX", opts)
+	dy := mustRun(t, config.DyFUSE, "ATAX", opts)
+	if dy.IPC <= base.IPC {
+		t.Errorf("Dy-FUSE should outperform L1-SRAM on ATAX: %.3f vs %.3f", dy.IPC, base.IPC)
+	}
+	if dy.L1DMissRate >= base.L1DMissRate {
+		t.Errorf("Dy-FUSE should reduce the L1D miss rate: %.3f vs %.3f", dy.L1DMissRate, base.L1DMissRate)
+	}
+	if dy.L1D.OutgoingRequests >= base.L1D.OutgoingRequests {
+		t.Errorf("Dy-FUSE should reduce outgoing memory references: %d vs %d",
+			dy.L1D.OutgoingRequests, base.L1D.OutgoingRequests)
+	}
+	if got := dy.SpeedupOver(base); got <= 1 {
+		t.Errorf("SpeedupOver should exceed 1, got %v", got)
+	}
+}
+
+func TestDyFUSEBeatsBlockingHybrid(t *testing.T) {
+	opts := quickOpts()
+	hybrid := mustRun(t, config.Hybrid, "BICG", opts)
+	dy := mustRun(t, config.DyFUSE, "BICG", opts)
+	if dy.IPC <= hybrid.IPC {
+		t.Errorf("Dy-FUSE should outperform the unoptimised Hybrid: %.3f vs %.3f", dy.IPC, hybrid.IPC)
+	}
+	if hybrid.STTWriteStalls == 0 {
+		t.Errorf("the blocking Hybrid should suffer STT-MRAM write stalls")
+	}
+}
+
+func TestBaseFUSEReducesStallsVsHybrid(t *testing.T) {
+	// Figure 15: the swap buffer + tag queue remove most STT-MRAM stalls.
+	opts := quickOpts()
+	hybrid := mustRun(t, config.Hybrid, "FDTD", opts)
+	base := mustRun(t, config.BaseFUSE, "FDTD", opts)
+	if base.STTWriteStalls >= hybrid.STTWriteStalls {
+		t.Errorf("Base-FUSE should have fewer STT write stalls than Hybrid: %d vs %d",
+			base.STTWriteStalls, hybrid.STTWriteStalls)
+	}
+}
+
+func TestDyFUSEPredictorAccuracyHigh(t *testing.T) {
+	// Figure 16: the read-level predictor is right most of the time.
+	res := mustRun(t, config.DyFUSE, "GESUM", quickOpts())
+	total := res.PredTrue + res.PredNeutral + res.PredFalse
+	if total <= 0 {
+		t.Fatalf("predictions should have been audited")
+	}
+	if res.PredFalse > 0.4 {
+		t.Errorf("false predictions should be a minority, got %.2f", res.PredFalse)
+	}
+}
+
+func TestOracleCacheNearlyEliminatesMisses(t *testing.T) {
+	// Figure 3: an ideal (very large) L1D nearly eliminates thrashing.
+	opts := quickOpts()
+	prof, _ := trace.ProfileByName("ATAX")
+	oracle := config.FermiGPU(config.OracleL1D())
+	s, err := New(oracle, prof, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	base := mustRun(t, config.L1SRAM, "ATAX", opts)
+	if res.L1DMissRate >= base.L1DMissRate {
+		t.Errorf("oracle cache should have a far lower miss rate: %.3f vs %.3f", res.L1DMissRate, base.L1DMissRate)
+	}
+	if res.IPC <= base.IPC {
+		t.Errorf("oracle cache should be faster than the baseline: %.3f vs %.3f", res.IPC, base.IPC)
+	}
+}
+
+func TestVoltaConfigurationRuns(t *testing.T) {
+	prof, _ := trace.ProfileByName("gaussian")
+	volta := config.VoltaGPU(config.ScaleL1D(config.NewL1DConfig(DyKindForTest()), 2))
+	opts := quickOpts()
+	s, err := New(volta, prof, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	if res.IPC <= 0 || res.GPUName != "Volta-like" {
+		t.Errorf("Volta run failed: %+v", res.GPUName)
+	}
+}
+
+// DyKindForTest returns the Dy-FUSE kind; a tiny helper so the Volta test
+// reads clearly.
+func DyKindForTest() config.L1DKind { return config.DyFUSE }
+
+func TestRunWorkloadErrors(t *testing.T) {
+	if _, err := RunWorkload(config.DyFUSE, "no-such-workload", quickOpts()); err == nil {
+		t.Errorf("unknown workload should fail")
+	}
+	// Invalid GPU config propagates.
+	prof, _ := trace.ProfileByName("ATAX")
+	bad := config.FermiGPU(config.NewL1DConfig(config.DyFUSE))
+	bad.SMs = 0
+	if _, err := New(bad, prof, Options{}); err == nil {
+		t.Errorf("invalid GPU config should fail")
+	}
+	badProf := prof
+	badProf.APKI = 0
+	if _, err := New(config.FermiGPU(config.NewL1DConfig(config.DyFUSE)), badProf, Options{}); err == nil {
+		t.Errorf("invalid profile should fail")
+	}
+}
+
+func TestMaxCyclesBoundsRuntime(t *testing.T) {
+	prof, _ := trace.ProfileByName("SM") // APKI 140: needs many cycles
+	gpuCfg := config.FermiGPU(config.NewL1DConfig(config.L1SRAM))
+	s, err := New(gpuCfg, prof, Options{InstructionsPerWarp: 100000, MaxCycles: 2000, SMOverride: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	if res.Cycles > 2100 {
+		t.Errorf("run should stop near the cycle limit, took %d", res.Cycles)
+	}
+}
+
+func TestSimulatorAccessors(t *testing.T) {
+	prof, _ := trace.ProfileByName("2DCONV")
+	s, err := New(config.FermiGPU(config.NewL1DConfig(config.DyFUSE)), prof, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.L2() == nil || s.DRAM() == nil || s.Network() == nil || len(s.SMs()) == 0 {
+		t.Errorf("accessors should expose the subsystems")
+	}
+	if s.Now() != 0 {
+		t.Errorf("fresh simulator should be at cycle 0")
+	}
+	s.Step()
+	if s.Now() != 1 {
+		t.Errorf("Step should advance one cycle")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.InstructionsPerWarp == 0 || o.MaxCycles == 0 || o.Seed == 0 || o.RequestBytes == 0 {
+		t.Errorf("defaults should be filled in: %+v", o)
+	}
+	var r Result
+	if r.SpeedupOver(Result{}) != 0 {
+		t.Errorf("speedup over a zero-IPC baseline should be 0")
+	}
+}

@@ -1,0 +1,10 @@
+package sim
+
+import "fuse/internal/trace"
+
+// profileByName resolves a workload name through the trace package. Kept as
+// a tiny indirection so the sim package has a single import point for
+// workload lookup (and tests can see the same behaviour RunWorkload uses).
+func profileByName(name string) (trace.Profile, bool) {
+	return trace.ProfileByName(name)
+}
