@@ -12,6 +12,9 @@
 package fusebench
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -158,7 +161,7 @@ func BenchmarkFig15_CacheStalls(b *testing.B) {
 			base += cell(b, row[2])
 		}
 		n := float64(len(tab.Rows))
-		b.ReportMetric(base/n/maxf(hybrid/n, 1e-9), "basefuse-stall-ratio")
+		b.ReportMetric(base/n/max(hybrid/n, 1e-9), "basefuse-stall-ratio")
 	}
 }
 
@@ -239,6 +242,40 @@ func BenchmarkTable03_Area(b *testing.B) {
 	}
 }
 
+// BenchmarkFig13_FullMatrix measures the engine's batch execution of the
+// complete figure-13 matrix (all 7 L1D configurations x all 21 workloads at
+// BenchScale) with a serial worker pool versus a full-width one. On a
+// multi-core machine the parallel sub-benchmark shows near-linear speedup;
+// on any machine the parallel run must render a byte-identical table to the
+// serial one, which the benchmark asserts (the workers=1 sub-benchmark runs
+// first and records the reference output).
+func BenchmarkFig13_FullMatrix(b *testing.B) {
+	workerCounts := []int{1, max(2, runtime.GOMAXPROCS(0))}
+	var serialRef string
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := experiments.NewMatrixWorkers(benchScale, workers)
+				if err := m.Prewarm(context.Background(), []string{experiments.ExpFig13}, nil); err != nil {
+					b.Fatal(err)
+				}
+				tab, err := experiments.Fig13NormalizedIPC(m, experiments.AllWorkloads())
+				if err != nil {
+					b.Fatal(err)
+				}
+				out := tab.String()
+				if workers == 1 && serialRef == "" {
+					serialRef = out
+				}
+				if serialRef != "" && out != serialRef {
+					b.Fatalf("workers=%d table output differs from the serial reference", workers)
+				}
+				b.ReportMetric(float64(m.Runs()), "sims")
+			}
+		})
+	}
+}
+
 // BenchmarkSingleSimulation measures the raw simulator throughput (cycles
 // simulated per second) for one Dy-FUSE run; useful for tracking the cost of
 // the cycle engine itself.
@@ -272,11 +309,4 @@ func BenchmarkEnergyModel(b *testing.B) {
 			b.Fatal("energy should be positive")
 		}
 	}
-}
-
-func maxf(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
 }

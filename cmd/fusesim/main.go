@@ -1,36 +1,46 @@
-// Command fusesim runs a single (L1D configuration, workload) simulation on
-// the paper's Fermi-class or Volta-class GPU model and prints a detailed
-// report: IPC, L1D miss rate, stall breakdown, predictor accuracy, off-chip
+// Command fusesim runs (L1D configuration, workload) simulations on the
+// paper's Fermi-class or Volta-class GPU model and prints a detailed report
+// per run: IPC, L1D miss rate, stall breakdown, predictor accuracy, off-chip
 // decomposition and the energy breakdown.
+//
+// Both -config and -workload accept comma-separated lists; the cross product
+// is executed as one batch on the engine's worker pool and the reports are
+// printed in submission order (so the output is independent of -parallel).
 //
 // Usage:
 //
 //	fusesim -config Dy-FUSE -workload ATAX
 //	fusesim -config L1-SRAM -workload GEMM -sms 4 -instructions 2000
+//	fusesim -config L1-SRAM,Dy-FUSE -workload ATAX,GEMM -parallel 4
 //	fusesim -list
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"fuse/internal/config"
 	"fuse/internal/energy"
+	"fuse/internal/engine"
 	"fuse/internal/sim"
 	"fuse/internal/trace"
 )
 
 func main() {
 	var (
-		configName   = flag.String("config", "Dy-FUSE", "L1D configuration (L1-SRAM, FA-SRAM, By-NVM, Hybrid, Base-FUSE, FA-FUSE, Dy-FUSE)")
-		workload     = flag.String("workload", "ATAX", "benchmark name (see -list)")
+		configNames  = flag.String("config", "Dy-FUSE", "comma-separated L1D configurations (L1-SRAM, FA-SRAM, By-NVM, Hybrid, Base-FUSE, FA-FUSE, Dy-FUSE)")
+		workloadList = flag.String("workload", "ATAX", "comma-separated benchmark names (see -list)")
 		instructions = flag.Uint64("instructions", 1000, "instructions per warp")
 		sms          = flag.Int("sms", 0, "number of SMs to simulate (0 = full GPU)")
 		seed         = flag.Uint64("seed", 42, "workload generator seed")
 		volta        = flag.Bool("volta", false, "use the Volta-class GPU model (84 SMs, 6 MB L2, 128 KB L1)")
 		list         = flag.Bool("list", false, "list available workloads and configurations, then exit")
 		showEnergy   = flag.Bool("energy", true, "print the energy breakdown")
+		parallel     = flag.Int("parallel", 0, "number of concurrent simulations (0 = GOMAXPROCS)")
+		timeout      = flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
 	)
 	flag.Parse()
 
@@ -46,21 +56,22 @@ func main() {
 		return
 	}
 
-	kind, err := config.ParseL1DKind(*configName)
-	if err != nil {
-		fatalf("unknown configuration %q: %v", *configName, err)
+	var kinds []config.L1DKind
+	for _, name := range splitList(*configNames) {
+		kind, err := config.ParseL1DKind(name)
+		if err != nil {
+			fatalf("unknown configuration %q: %v", name, err)
+		}
+		kinds = append(kinds, kind)
 	}
-	prof, ok := trace.ProfileByName(*workload)
-	if !ok {
-		fatalf("unknown workload %q (use -list to see the available ones)", *workload)
+	workloads := splitList(*workloadList)
+	if len(kinds) == 0 || len(workloads) == 0 {
+		fatalf("need at least one configuration and one workload")
 	}
-
-	l1d := config.NewL1DConfig(kind)
-	var gpuCfg config.GPUConfig
-	if *volta {
-		gpuCfg = config.VoltaGPU(config.ScaleL1D(l1d, 4))
-	} else {
-		gpuCfg = config.FermiGPU(l1d)
+	for _, w := range workloads {
+		if _, ok := trace.ProfileByName(w); !ok {
+			fatalf("unknown workload %q (use -list to see the available ones)", w)
+		}
 	}
 
 	opts := sim.Options{
@@ -68,15 +79,57 @@ func main() {
 		SMOverride:          *sms,
 		Seed:                *seed,
 	}
-	s, err := sim.New(gpuCfg, prof, opts)
+
+	// The cross product, Volta variants as labelled custom-GPU jobs.
+	var jobs []engine.Job
+	for _, kind := range kinds {
+		for _, w := range workloads {
+			job := engine.Job{Kind: kind, Workload: w, Opts: opts}
+			if *volta {
+				cfg := config.VoltaGPU(config.ScaleL1D(config.NewL1DConfig(kind), 4))
+				job.Label = "volta-" + kind.String()
+				job.GPU = &cfg
+			}
+			jobs = append(jobs, job)
+		}
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	runner := engine.New(engine.Config{Workers: *parallel})
+	results, err := runner.RunBatch(ctx, jobs)
 	if err != nil {
-		fatalf("building simulator: %v", err)
+		fatalf("%v", err)
 	}
-	res := s.Run()
-	fmt.Print(res.String())
-	if *showEnergy {
-		fmt.Print(energy.FromResult(res, gpuCfg).String())
+
+	for i, res := range results {
+		fmt.Print(res.String())
+		if *showEnergy {
+			gpuCfg := config.FermiGPU(config.NewL1DConfig(jobs[i].Kind))
+			if jobs[i].GPU != nil {
+				gpuCfg = *jobs[i].GPU
+			}
+			fmt.Print(energy.FromResult(res, gpuCfg).String())
+		}
+		if i < len(results)-1 {
+			fmt.Println()
+		}
 	}
+}
+
+// splitList splits a comma-separated flag value, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 func fatalf(format string, args ...interface{}) {

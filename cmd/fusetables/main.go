@@ -3,20 +3,28 @@
 // (fig1, fig3, fig6, fig7, table1, table2, fig13, fig14, fig15, fig16, fig17,
 // fig18, fig19, fig20, table3).
 //
+// The simulations behind the selected experiments are declared up front and
+// executed concurrently on the engine's worker pool; experiments sharing
+// runs (figures 13-17 share the full six-kind matrix) are deduplicated, and
+// the printed tables are byte-identical to a serial (-parallel 1) run.
+//
 // Usage:
 //
 //	fusetables -exp fig13                 # one figure, default scale
 //	fusetables -exp all -scale full       # everything, full 15-SM GPU
 //	fusetables -exp fig14 -workloads ATAX,BICG,GESUM
+//	fusetables -exp all -parallel 8 -timeout 10m -progress
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"fuse/internal/engine"
 	"fuse/internal/experiments"
 )
 
@@ -26,6 +34,9 @@ func main() {
 		scaleName = flag.String("scale", "bench", "simulation scale: quick, bench or full")
 		workloads = flag.String("workloads", "", "comma-separated workload subset (default: the experiment's own set)")
 		timing    = flag.Bool("time", false, "print wall-clock time per experiment")
+		parallel  = flag.Int("parallel", 0, "number of concurrent simulations (0 = GOMAXPROCS)")
+		timeout   = flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
+		progress  = flag.Bool("progress", false, "print per-simulation progress to stderr")
 	)
 	flag.Parse()
 
@@ -56,17 +67,49 @@ func main() {
 		names = []string{*expName}
 	}
 
-	matrix := experiments.NewMatrix(scale)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	cfg := engine.Config{Workers: *parallel}
+	if *progress {
+		cfg.Progress = func(p engine.Progress) {
+			status := "done"
+			if p.Err != nil {
+				status = "FAILED: " + p.Err.Error()
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s %s\n", p.Done, p.Total, p.Job, status)
+		}
+	}
+	runner := engine.New(cfg)
+	matrix := experiments.NewMatrixRunner(scale, runner)
+
+	// Pre-warm the whole selection in one batch: the engine deduplicates the
+	// jobs shared between experiments and fills the cache in parallel, so
+	// the per-experiment table builds below are pure cache reads.
+	start := time.Now()
+	if err := matrix.Prewarm(ctx, names, subset); err != nil {
+		fmt.Fprintf(os.Stderr, "fusetables: %v\n", err)
+		os.Exit(1)
+	}
+	if *timing {
+		fmt.Printf("[pre-warm: %d simulations on %d workers in %v]\n\n",
+			matrix.Runs(), runner.Workers(), time.Since(start).Round(time.Millisecond))
+	}
+
 	for _, name := range names {
-		start := time.Now()
-		table, err := experiments.Run(matrix, name, subset)
+		expStart := time.Now()
+		table, err := experiments.RunContext(ctx, matrix, name, subset)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fusetables: %s: %v\n", name, err)
 			os.Exit(1)
 		}
 		fmt.Println(table.String())
 		if *timing {
-			fmt.Printf("[%s took %v, %d simulations cached]\n\n", name, time.Since(start).Round(time.Millisecond), matrix.Runs())
+			fmt.Printf("[%s took %v, %d simulations cached]\n\n", name, time.Since(expStart).Round(time.Millisecond), matrix.Runs())
 		} else {
 			fmt.Println()
 		}

@@ -4,26 +4,27 @@
 // cache (keeping the total area equal to the 32 KB SRAM baseline) and reports
 // IPC and miss rate for each split.
 //
+// The five splits are independent simulations, so they are submitted as one
+// batch to the engine's worker pool and run concurrently; the results come
+// back in submission order regardless of which split finishes first.
+//
 // Run with:
 //
 //	go run ./examples/ratiosweep
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"fuse/internal/config"
+	"fuse/internal/engine"
 	"fuse/internal/sim"
-	"fuse/internal/trace"
 )
 
 func main() {
 	const workload = "GEMM"
-	profile, ok := trace.ProfileByName(workload)
-	if !ok {
-		log.Fatalf("workload %s not found", workload)
-	}
 	opts := sim.Options{InstructionsPerWarp: 500, SMOverride: 3, Seed: 11}
 
 	fractions := []struct {
@@ -33,21 +34,38 @@ func main() {
 		{"1/16", 1.0 / 16}, {"1/8", 1.0 / 8}, {"1/4", 1.0 / 4}, {"1/2", 1.0 / 2}, {"3/4", 3.0 / 4},
 	}
 
-	fmt.Printf("=== SRAM : STT-MRAM split sweep on %s (Dy-FUSE, fixed area budget) ===\n", workload)
-	fmt.Printf("%-6s %10s %12s %10s %10s\n", "SRAM", "SRAM KB", "STT-MRAM KB", "IPC", "miss rate")
-
-	bestLabel, bestIPC := "", 0.0
+	// One batch: one job per split, all sharing the workload and options.
+	jobs := make([]engine.Job, 0, len(fractions))
+	cfgs := make([]config.L1DConfig, 0, len(fractions))
 	for _, f := range fractions {
 		cfg, err := config.WithRatio(config.DyFUSE, f.value)
 		if err != nil {
 			log.Fatalf("ratio %s: %v", f.label, err)
 		}
-		s, err := sim.New(config.FermiGPU(cfg), profile, opts)
-		if err != nil {
-			log.Fatalf("ratio %s: %v", f.label, err)
-		}
-		res := s.Run()
-		fmt.Printf("%-6s %10d %12d %10.3f %10.3f\n", f.label, cfg.SRAMKB, cfg.STTMRAMKB, res.IPC, res.L1DMissRate)
+		cfgs = append(cfgs, cfg)
+		gpu := config.FermiGPU(cfg)
+		jobs = append(jobs, engine.Job{
+			Label:    "ratio-" + f.label,
+			GPU:      &gpu,
+			Workload: workload,
+			Opts:     opts,
+		})
+	}
+
+	runner := engine.New(engine.Config{})
+	results, err := runner.RunBatch(context.Background(), jobs)
+	if err != nil {
+		log.Fatalf("batch: %v", err)
+	}
+
+	fmt.Printf("=== SRAM : STT-MRAM split sweep on %s (Dy-FUSE, fixed area budget) ===\n", workload)
+	fmt.Printf("(%d simulations on %d workers)\n", len(jobs), runner.Workers())
+	fmt.Printf("%-6s %10s %12s %10s %10s\n", "SRAM", "SRAM KB", "STT-MRAM KB", "IPC", "miss rate")
+
+	bestLabel, bestIPC := "", 0.0
+	for i, f := range fractions {
+		res := results[i]
+		fmt.Printf("%-6s %10d %12d %10.3f %10.3f\n", f.label, cfgs[i].SRAMKB, cfgs[i].STTMRAMKB, res.IPC, res.L1DMissRate)
 		if res.IPC > bestIPC {
 			bestIPC, bestLabel = res.IPC, f.label
 		}

@@ -4,18 +4,23 @@
 // HBM2-class bandwidth), scales every L1D organisation to the 128 KB budget
 // and compares them on an irregular and a write-heavy workload.
 //
+// The (configuration x workload) matrix is submitted to the engine as one
+// batch and simulated concurrently; the report is printed from the
+// deterministically ordered results.
+//
 // Run with:
 //
 //	go run ./examples/voltascale
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"fuse/internal/config"
+	"fuse/internal/engine"
 	"fuse/internal/sim"
-	"fuse/internal/trace"
 )
 
 func main() {
@@ -25,27 +30,39 @@ func main() {
 	// Simulate a slice of the 84 SMs; the memory side scales with it.
 	opts := sim.Options{InstructionsPerWarp: 500, SMOverride: 6, Seed: 5}
 
-	fmt.Println("=== Volta-class GPU (84 SMs, 6 MB L2, 128 KB L1 budget) ===")
+	// The full matrix as one batch, row-major: workloads outer, kinds inner.
+	var jobs []engine.Job
+	var caps []int
 	for _, w := range workloads {
-		profile, ok := trace.ProfileByName(w)
-		if !ok {
-			log.Fatalf("workload %s not found", w)
-		}
-		fmt.Printf("\n%s:\n", w)
-		var base sim.Result
-		for i, kind := range kinds {
+		for _, kind := range kinds {
 			l1d := config.ScaleL1D(config.NewL1DConfig(kind), 4) // 4x the Fermi budget = 128 KB class
-			gpuCfg := config.VoltaGPU(l1d)
-			s, err := sim.New(gpuCfg, profile, opts)
-			if err != nil {
-				log.Fatalf("%s/%v: %v", w, kind, err)
-			}
-			res := s.Run()
-			if i == 0 {
-				base = res
-			}
+			gpu := config.VoltaGPU(l1d)
+			jobs = append(jobs, engine.Job{
+				Label:    "volta-" + kind.String(),
+				GPU:      &gpu,
+				Workload: w,
+				Opts:     opts,
+			})
+			caps = append(caps, l1d.TotalKB())
+		}
+	}
+
+	runner := engine.New(engine.Config{})
+	results, err := runner.RunBatch(context.Background(), jobs)
+	if err != nil {
+		log.Fatalf("batch: %v", err)
+	}
+
+	fmt.Println("=== Volta-class GPU (84 SMs, 6 MB L2, 128 KB L1 budget) ===")
+	fmt.Printf("(%d simulations on %d workers)\n", len(jobs), runner.Workers())
+	for wi, w := range workloads {
+		fmt.Printf("\n%s:\n", w)
+		base := results[wi*len(kinds)] // kinds[0] is the L1-SRAM baseline
+		for ki, kind := range kinds {
+			i := wi*len(kinds) + ki
+			res := results[i]
 			fmt.Printf("  %-10s IPC %6.3f  (%.2fx vs L1-SRAM)  miss rate %.3f  L1D capacity %d KB\n",
-				kind.String(), res.IPC, res.SpeedupOver(base), res.L1DMissRate, l1d.TotalKB())
+				kind.String(), res.IPC, res.SpeedupOver(base), res.L1DMissRate, caps[i])
 		}
 	}
 	fmt.Println("\nEven with the 4x larger Volta L1 budget, the STT-MRAM-fused organisations keep")

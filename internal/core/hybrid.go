@@ -539,6 +539,19 @@ func (h *HybridL1D) Tick(now int64) {
 	}
 }
 
+// NextInternalEventAt implements L1D: with tag-queue operations pending, the
+// next internal event is the STT-MRAM bank becoming free (which lets Tick
+// retire the head operation).
+func (h *HybridL1D) NextInternalEventAt(now int64) int64 {
+	if h.queue == nil || h.queue.Empty() {
+		return -1
+	}
+	if !h.sttBank.Busy(now) {
+		return now
+	}
+	return h.sttBank.BusyUntil()
+}
+
 // Reset implements L1D.
 func (h *HybridL1D) Reset() {
 	h.sram.Reset()

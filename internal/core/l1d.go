@@ -163,6 +163,13 @@ type L1D interface {
 	// Tick advances internal machinery (tag queue drain, swap buffer
 	// retirement) by one cycle.
 	Tick(now int64)
+	// NextInternalEventAt returns the next cycle (>= now) at which the
+	// cache's internal machinery can make progress on its own — e.g. the
+	// STT-MRAM bank freeing while tag-queue operations wait to drain — or
+	// -1 when it is idle. A simulator that fast-forwards over idle cycles
+	// must not skip past this cycle, or tag-queue retirements would slip
+	// and change the timing relative to cycle-by-cycle execution.
+	NextInternalEventAt(now int64) int64
 	// Stats exposes the accumulated counters.
 	Stats() *Stats
 	// Banks returns the technology banks (for energy accounting). The

@@ -205,6 +205,9 @@ func (s *SimpleL1D) PopOutgoing() (mem.Request, bool) {
 // Tick implements L1D. The simple organisations have no background machinery.
 func (s *SimpleL1D) Tick(now int64) {}
 
+// NextInternalEventAt implements L1D: no background machinery, never busy.
+func (s *SimpleL1D) NextInternalEventAt(now int64) int64 { return -1 }
+
 // Reset implements L1D.
 func (s *SimpleL1D) Reset() {
 	s.store.Reset()

@@ -1,0 +1,355 @@
+// Package engine is the concurrent batch-execution layer of the repository.
+// Every figure of the paper is a matrix of independent (L1D configuration,
+// workload) simulations; the Runner executes such matrices on a bounded
+// worker pool, deduplicating identical jobs (both in-flight and completed,
+// singleflight-style) so that figures sharing runs — 13, 14, 15, 16 and 17
+// all reuse the same six-kind matrix — never simulate the same point twice.
+//
+// The Runner guarantees deterministic result ordering: RunBatch returns
+// results in submission order regardless of the order in which the workers
+// finish, so a parallel figure regeneration is byte-identical to the serial
+// one.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"fuse/internal/config"
+	"fuse/internal/sim"
+	"fuse/internal/trace"
+)
+
+// Job describes one simulation to execute. Two jobs are the same simulation —
+// and are deduplicated — when their Key() values are equal.
+type Job struct {
+	// Kind selects the L1D configuration on the Fermi-class GPU. It is
+	// ignored when GPU is set.
+	Kind config.L1DKind
+	// Workload is the benchmark name (see trace.Names).
+	Workload string
+	// Label identifies a custom-GPU job. It must uniquely describe GPU
+	// within one Runner: the label, not the config struct, is the dedup
+	// identity of custom jobs.
+	Label string
+	// GPU, when non-nil, overrides the Fermi-class GPU built from Kind.
+	GPU *config.GPUConfig
+	// Opts are the simulation options (scale, seed, SM override...).
+	Opts sim.Options
+}
+
+// Key is the comparable dedup identity of a Job.
+type Key struct {
+	Kind     config.L1DKind
+	Workload string
+	Label    string
+	Opts     sim.Options
+}
+
+// Key returns the job's dedup identity.
+func (j Job) Key() Key {
+	return Key{Kind: j.Kind, Workload: j.Workload, Label: j.Label, Opts: j.Opts}
+}
+
+// String renders a short human-readable job name (for progress lines).
+func (j Job) String() string {
+	name := j.Kind.String()
+	if j.Label != "" {
+		name = j.Label
+	}
+	return name + "/" + j.Workload
+}
+
+// Execute runs one job to completion. It is the default executor of a Runner
+// and the single place where the engine touches the simulator. The context
+// is threaded into the simulator's cycle loop, so cancellation aborts
+// in-flight simulations, not just queued ones.
+func Execute(ctx context.Context, job Job) (sim.Result, error) {
+	if job.GPU == nil {
+		return sim.RunWorkloadContext(ctx, job.Kind, job.Workload, job.Opts)
+	}
+	prof, ok := trace.ProfileByName(job.Workload)
+	if !ok {
+		return sim.Result{}, fmt.Errorf("engine: unknown workload %q", job.Workload)
+	}
+	s, err := sim.New(*job.GPU, prof, job.Opts)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return s.RunContext(ctx)
+}
+
+// Progress is one progress-callback notification, fired when a job finishes
+// executing: job Done of Total freshly executed jobs in the batch have
+// completed (Done counts successes and failures; jobs served from the cache
+// or from another batch's in-flight work are not notified). Notifications
+// arrive in completion order, as the workers finish.
+type Progress struct {
+	Done  int
+	Total int
+	Job   Job
+	Err   error
+}
+
+// Config configures a Runner.
+type Config struct {
+	// Workers bounds the number of simulations executing at once.
+	// Zero or negative means GOMAXPROCS.
+	Workers int
+	// Exec overrides the job executor (tests use this to count or stall
+	// executions). Nil means Execute.
+	Exec func(context.Context, Job) (sim.Result, error)
+	// Progress, when non-nil, is called as each freshly executed job
+	// completes. Calls are serialised per batch; the callback must not
+	// block for long.
+	Progress func(Progress)
+}
+
+// JobError pairs a failed job with its error.
+type JobError struct {
+	Job Job
+	Err error
+}
+
+// BatchError collects the per-job failures of one batch.
+type BatchError struct {
+	Errors []JobError
+}
+
+// Error implements the error interface.
+func (e *BatchError) Error() string {
+	if len(e.Errors) == 1 {
+		return fmt.Sprintf("engine: job %s: %v", e.Errors[0].Job, e.Errors[0].Err)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "engine: %d jobs failed:", len(e.Errors))
+	for _, je := range e.Errors {
+		fmt.Fprintf(&b, "\n  %s: %v", je.Job, je.Err)
+	}
+	return b.String()
+}
+
+// Unwrap exposes the first underlying error (so errors.Is sees context
+// cancellation).
+func (e *BatchError) Unwrap() error {
+	if len(e.Errors) == 0 {
+		return nil
+	}
+	return e.Errors[0].Err
+}
+
+// call is one in-flight or completed execution shared by every batch that
+// asked for the same key.
+type call struct {
+	done chan struct{}
+	res  sim.Result
+	err  error
+}
+
+// Runner executes batches of simulation jobs on a worker pool, caching every
+// completed result for the lifetime of the Runner.
+type Runner struct {
+	workers  int
+	exec     func(context.Context, Job) (sim.Result, error)
+	progress func(Progress)
+	sem      chan struct{}
+
+	mu        sync.Mutex
+	calls     map[Key]*call
+	completed int
+}
+
+// New creates a Runner. A zero Config is valid: GOMAXPROCS workers, the real
+// simulator executor, no progress callback.
+func New(cfg Config) *Runner {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	exec := cfg.Exec
+	if exec == nil {
+		exec = Execute
+	}
+	return &Runner{
+		workers:  workers,
+		exec:     exec,
+		progress: cfg.Progress,
+		sem:      make(chan struct{}, workers),
+		calls:    make(map[Key]*call),
+	}
+}
+
+// Workers returns the size of the worker pool.
+func (r *Runner) Workers() int { return r.workers }
+
+// Completed returns the number of successfully completed (cached) jobs.
+func (r *Runner) Completed() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.completed
+}
+
+// Keys returns the cached job keys in a stable order (for inspection).
+func (r *Runner) Keys() []Key {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	keys := make([]Key, 0, len(r.calls))
+	for k := range r.calls {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Label != b.Label {
+			return a.Label < b.Label
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Workload < b.Workload
+	})
+	return keys
+}
+
+// startLocked returns the call for a key, creating it if this caller is the
+// first to ask. The boolean reports whether the caller must execute it.
+func (r *Runner) start(k Key) (*call, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.calls[k]; ok {
+		return c, false
+	}
+	c := &call{done: make(chan struct{})}
+	r.calls[k] = c
+	return c, true
+}
+
+// finish records a call's outcome. Context errors are evicted from the cache
+// so that a later batch (with a live context) retries instead of replaying
+// the cancellation.
+func (r *Runner) finish(k Key, c *call, res sim.Result, err error) {
+	r.mu.Lock()
+	c.res, c.err = res, err
+	if err == nil {
+		r.completed++
+	} else if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		delete(r.calls, k)
+	}
+	r.mu.Unlock()
+	close(c.done)
+}
+
+// progressState is one batch's completion accounting for the progress
+// callback: its mutex both counts completions and serialises the callback
+// invocations of that batch.
+type progressState struct {
+	mu    sync.Mutex
+	done  int
+	total int
+}
+
+// notify reports one completed job to the progress callback. It runs before
+// the call is marked finished, so every notification of a batch has been
+// delivered by the time RunBatch returns.
+func (r *Runner) notify(p *progressState, job Job, err error) {
+	if r.progress == nil || p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	r.progress(Progress{Done: p.done, Total: p.total, Job: job, Err: err})
+}
+
+// run executes one call on the worker pool.
+func (r *Runner) run(ctx context.Context, k Key, c *call, job Job, p *progressState) {
+	select {
+	case r.sem <- struct{}{}:
+	case <-ctx.Done():
+		r.notify(p, job, ctx.Err())
+		r.finish(k, c, sim.Result{}, ctx.Err())
+		return
+	}
+	defer func() { <-r.sem }()
+	res, err := r.exec(ctx, job)
+	r.notify(p, job, err)
+	r.finish(k, c, res, err)
+}
+
+// RunBatch executes every job (deduplicated against the batch itself, against
+// in-flight work and against completed results) and returns the results in
+// submission order. The returned error is nil when every job succeeded, or a
+// *BatchError listing each failed job; results of failed jobs are zero.
+// Cancelling the context abandons jobs that have not started and fails the
+// batch with the context's error.
+func (r *Runner) RunBatch(ctx context.Context, jobs []Job) ([]sim.Result, error) {
+	// Pass 1: resolve every job to its (possibly shared) call, claiming the
+	// keys this batch is first to ask for. Spawning waits until the batch's
+	// fresh-job count is known, so progress notifications — fired by the
+	// workers in completion order — always carry the right Total.
+	calls := make([]*call, len(jobs))
+	seen := make(map[Key]*call, len(jobs))
+	type spawn struct {
+		k   Key
+		c   *call
+		job Job
+	}
+	var mine []spawn
+	for i, job := range jobs {
+		k := job.Key()
+		if c, ok := seen[k]; ok {
+			calls[i] = c
+			continue
+		}
+		c, fresh := r.start(k)
+		seen[k] = c
+		calls[i] = c
+		if fresh {
+			mine = append(mine, spawn{k: k, c: c, job: job})
+		}
+	}
+
+	// Pass 2: execute this batch's fresh jobs on the worker pool.
+	prog := &progressState{total: len(mine)}
+	for _, s := range mine {
+		go r.run(ctx, s.k, s.c, s.job, prog)
+	}
+
+	results := make([]sim.Result, len(jobs))
+	var batchErr BatchError
+	for i, c := range calls {
+		select {
+		case <-c.done:
+		case <-ctx.Done():
+			// Wait for the call anyway: its goroutine observes the same
+			// context and finishes promptly, and waiting keeps the
+			// completion accounting exact.
+			<-c.done
+		}
+		results[i] = c.res
+		if c.err != nil {
+			batchErr.Errors = append(batchErr.Errors, JobError{Job: jobs[i], Err: c.err})
+		}
+	}
+	if len(batchErr.Errors) > 0 {
+		return results, &batchErr
+	}
+	return results, nil
+}
+
+// Get executes (or fetches the cached result of) a single job.
+func (r *Runner) Get(ctx context.Context, job Job) (sim.Result, error) {
+	res, err := r.RunBatch(ctx, []Job{job})
+	if err != nil {
+		var be *BatchError
+		if errors.As(err, &be) && len(be.Errors) > 0 {
+			return sim.Result{}, be.Errors[0].Err
+		}
+		return sim.Result{}, err
+	}
+	return res[0], nil
+}

@@ -1,0 +1,332 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fuse/internal/config"
+	"fuse/internal/sim"
+)
+
+// quickOpts keeps real-simulator test runs small and fast.
+func quickOpts() sim.Options {
+	return sim.Options{InstructionsPerWarp: 100, Seed: 7, SMOverride: 1, MaxCycles: 1_000_000}
+}
+
+// countingExec returns a fake executor that counts executions per key and
+// stamps the result with an identifiable cycle count.
+func countingExec(calls *sync.Map, total *atomic.Int64) func(context.Context, Job) (sim.Result, error) {
+	return func(_ context.Context, job Job) (sim.Result, error) {
+		total.Add(1)
+		n, _ := calls.LoadOrStore(job.Key(), new(atomic.Int64))
+		n.(*atomic.Int64).Add(1)
+		return sim.Result{Workload: job.Workload, Cycles: int64(len(job.Workload))}, nil
+	}
+}
+
+func TestDefaultsAndWorkers(t *testing.T) {
+	r := New(Config{})
+	if r.Workers() != runtime.GOMAXPROCS(0) {
+		t.Errorf("default workers = %d, want GOMAXPROCS = %d", r.Workers(), runtime.GOMAXPROCS(0))
+	}
+	if got := New(Config{Workers: 3}).Workers(); got != 3 {
+		t.Errorf("Workers = %d, want 3", got)
+	}
+	if got := New(Config{Workers: -1}).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("negative workers should fall back to GOMAXPROCS, got %d", got)
+	}
+}
+
+func TestBatchDeduplicatesWithinAndAcrossBatches(t *testing.T) {
+	var calls sync.Map
+	var total atomic.Int64
+	r := New(Config{Workers: 4, Exec: countingExec(&calls, &total)})
+
+	jobs := []Job{
+		{Kind: config.L1SRAM, Workload: "A"},
+		{Kind: config.DyFUSE, Workload: "A"},
+		{Kind: config.L1SRAM, Workload: "A"}, // duplicate of job 0
+		{Kind: config.L1SRAM, Workload: "B"},
+	}
+	res, err := r.RunBatch(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(jobs) {
+		t.Fatalf("got %d results, want %d", len(res), len(jobs))
+	}
+	if total.Load() != 3 {
+		t.Errorf("expected 3 unique executions, got %d", total.Load())
+	}
+	if res[0].Workload != "A" || res[2].Workload != "A" || res[3].Workload != "B" {
+		t.Errorf("results misordered: %+v", res)
+	}
+	if r.Completed() != 3 {
+		t.Errorf("Completed = %d, want 3", r.Completed())
+	}
+
+	// A second batch over the same keys is served fully from the cache.
+	if _, err := r.RunBatch(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	if total.Load() != 3 {
+		t.Errorf("cached batch should not re-execute, got %d executions", total.Load())
+	}
+	if len(r.Keys()) != 3 {
+		t.Errorf("Keys() should list the 3 cached keys, got %d", len(r.Keys()))
+	}
+}
+
+func TestInFlightDeduplication(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var total atomic.Int64
+	var once sync.Once
+	r := New(Config{Workers: 4, Exec: func(_ context.Context, job Job) (sim.Result, error) {
+		total.Add(1)
+		once.Do(func() { close(started) })
+		<-release
+		return sim.Result{Workload: job.Workload}, nil
+	}})
+
+	job := Job{Kind: config.DyFUSE, Workload: "slow"}
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := r.Get(context.Background(), job); err != nil {
+				t.Errorf("Get: %v", err)
+			}
+		}()
+	}
+	<-started
+	// All three Gets are now waiting on the same in-flight call.
+	close(release)
+	wg.Wait()
+	if total.Load() != 1 {
+		t.Errorf("in-flight duplicates should share one execution, got %d", total.Load())
+	}
+}
+
+func TestDeterministicOrderingUnderConcurrency(t *testing.T) {
+	// Jobs finish in reverse submission order (later jobs sleep less), yet
+	// the result slice must follow submission order.
+	r := New(Config{Workers: 8, Exec: func(_ context.Context, job Job) (sim.Result, error) {
+		var i int
+		fmt.Sscanf(job.Workload, "w%d", &i)
+		time.Sleep(time.Duration(8-i) * time.Millisecond)
+		return sim.Result{Workload: job.Workload, Cycles: int64(i)}, nil
+	}})
+	jobs := make([]Job, 8)
+	for i := range jobs {
+		jobs[i] = Job{Kind: config.DyFUSE, Workload: fmt.Sprintf("w%d", i)}
+	}
+	res, err := r.RunBatch(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if res[i].Cycles != int64(i) {
+			t.Fatalf("result %d out of order: %+v", i, res[i])
+		}
+	}
+}
+
+func TestPerJobErrorCollection(t *testing.T) {
+	sentinel := errors.New("boom")
+	r := New(Config{Workers: 2, Exec: func(_ context.Context, job Job) (sim.Result, error) {
+		if job.Workload == "bad" {
+			return sim.Result{}, sentinel
+		}
+		return sim.Result{Workload: job.Workload}, nil
+	}})
+	jobs := []Job{
+		{Kind: config.L1SRAM, Workload: "good"},
+		{Kind: config.L1SRAM, Workload: "bad"},
+		{Kind: config.DyFUSE, Workload: "bad"},
+	}
+	res, err := r.RunBatch(context.Background(), jobs)
+	if err == nil {
+		t.Fatal("expected a batch error")
+	}
+	var be *BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("error should be a *BatchError, got %T", err)
+	}
+	if len(be.Errors) != 2 {
+		t.Fatalf("expected 2 job errors, got %d: %v", len(be.Errors), be)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Errorf("BatchError should unwrap to the job error")
+	}
+	if res[0].Workload != "good" {
+		t.Errorf("successful job's result should survive a partial failure")
+	}
+	if r.Completed() != 1 {
+		t.Errorf("only the successful job should count as completed, got %d", r.Completed())
+	}
+	// Deterministic failures stay cached: Get replays the error without
+	// a new execution.
+	if _, err := r.Get(context.Background(), jobs[1]); !errors.Is(err, sentinel) {
+		t.Errorf("cached failure should replay, got %v", err)
+	}
+	if s := be.Error(); s == "" {
+		t.Errorf("BatchError message should not be empty")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var once sync.Once
+	r := New(Config{Workers: 1, Exec: func(ctx context.Context, job Job) (sim.Result, error) {
+		once.Do(func() { close(started) })
+		select {
+		case <-ctx.Done():
+			return sim.Result{}, ctx.Err()
+		case <-time.After(10 * time.Second):
+			return sim.Result{Workload: job.Workload}, nil
+		}
+	}})
+	go func() {
+		<-started
+		cancel()
+	}()
+	jobs := []Job{
+		{Kind: config.L1SRAM, Workload: "first"},
+		{Kind: config.DyFUSE, Workload: "second"}, // never gets a worker
+	}
+	_, err := r.RunBatch(ctx, jobs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+	if r.Completed() != 0 {
+		t.Errorf("cancelled jobs must not count as completed, got %d", r.Completed())
+	}
+
+	// Cancellation must not poison the cache: a fresh context retries.
+	r2 := New(Config{Workers: 1, Exec: func(_ context.Context, job Job) (sim.Result, error) {
+		return sim.Result{Workload: job.Workload}, nil
+	}})
+	// Reuse r's cache by replaying on r with a working exec is not possible
+	// (exec is fixed), so assert eviction directly: the cancelled keys are
+	// gone from the cache.
+	if n := len(r.Keys()); n != 0 {
+		t.Errorf("cancelled calls should be evicted from the cache, %d remain", n)
+	}
+	if _, err := r2.Get(context.Background(), jobs[0]); err != nil {
+		t.Errorf("retry on a fresh runner: %v", err)
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	var mu sync.Mutex
+	var events []Progress
+	r := New(Config{Workers: 2, Progress: func(p Progress) {
+		mu.Lock()
+		events = append(events, p)
+		mu.Unlock()
+	}, Exec: func(_ context.Context, job Job) (sim.Result, error) {
+		return sim.Result{Workload: job.Workload}, nil
+	}})
+	jobs := []Job{
+		{Kind: config.L1SRAM, Workload: "A"},
+		{Kind: config.L1SRAM, Workload: "A"}, // deduplicated: one notification
+		{Kind: config.L1SRAM, Workload: "B"},
+	}
+	if _, err := r.RunBatch(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("expected one progress event per unique job, got %d", len(events))
+	}
+	for i, p := range events {
+		if p.Done != i+1 || p.Total != 2 {
+			t.Errorf("event %d: Done=%d Total=%d, want %d/2", i, p.Done, p.Total, i+1)
+		}
+		if p.Err != nil {
+			t.Errorf("event %d: unexpected error %v", i, p.Err)
+		}
+	}
+
+	// A fully cached batch executes nothing, so it notifies nothing.
+	if _, err := r.RunBatch(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Errorf("cache-served batch should emit no progress events, got %d total", len(events))
+	}
+}
+
+func TestExecuteRealSimulator(t *testing.T) {
+	r := New(Config{Workers: 2})
+	// A kind-based job and a custom-GPU job of the same workload.
+	gpu := config.FermiGPU(config.OracleL1D())
+	jobs := []Job{
+		{Kind: config.L1SRAM, Workload: "pathf", Opts: quickOpts()},
+		{Label: "oracle", GPU: &gpu, Workload: "pathf", Opts: quickOpts()},
+	}
+	res, err := r.RunBatch(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].IPC <= 0 || res[1].IPC <= 0 {
+		t.Errorf("both simulations should produce a positive IPC: %v, %v", res[0].IPC, res[1].IPC)
+	}
+	if res[0].Workload != "pathf" || res[1].Workload != "pathf" {
+		t.Errorf("results should identify the workload")
+	}
+
+	// Unknown workloads fail per job, for both execution paths.
+	if _, err := r.Get(context.Background(), Job{Kind: config.L1SRAM, Workload: "nope", Opts: quickOpts()}); err == nil {
+		t.Errorf("unknown workload (kind path) should fail")
+	}
+	if _, err := r.Get(context.Background(), Job{Label: "x", GPU: &gpu, Workload: "nope", Opts: quickOpts()}); err == nil {
+		t.Errorf("unknown workload (custom path) should fail")
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	// The engine's core guarantee: a parallel batch produces exactly the
+	// same results, in the same order, as a serial one.
+	opts := quickOpts()
+	kinds := []config.L1DKind{config.L1SRAM, config.ByNVM, config.DyFUSE}
+	workloads := []string{"ATAX", "pathf"}
+	var jobs []Job
+	for _, k := range kinds {
+		for _, w := range workloads {
+			jobs = append(jobs, Job{Kind: k, Workload: w, Opts: opts})
+		}
+	}
+	serial, err := New(Config{Workers: 1}).RunBatch(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := New(Config{Workers: 4}).RunBatch(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if serial[i] != parallel[i] {
+			t.Errorf("job %d (%s): parallel result differs from serial", i, jobs[i])
+		}
+	}
+}
+
+func TestJobString(t *testing.T) {
+	j := Job{Kind: config.DyFUSE, Workload: "ATAX"}
+	if j.String() != "Dy-FUSE/ATAX" {
+		t.Errorf("Job.String() = %q", j.String())
+	}
+	j.Label = "volta-Dy-FUSE"
+	if j.String() != "volta-Dy-FUSE/ATAX" {
+		t.Errorf("labelled Job.String() = %q", j.String())
+	}
+}

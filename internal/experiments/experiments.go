@@ -5,12 +5,21 @@
 // are not expected to match the paper digit for digit; the shape (who wins,
 // by roughly what factor, where the crossovers are) is the reproduction
 // target, and EXPERIMENTS.md records both sides.
+//
+// Simulations are executed through the engine package: every figure declares
+// its full job set up front (see Jobs), the Matrix pre-warms the engine's
+// result cache in parallel, and the figure functions then read the cached
+// results in deterministic order. Figures sharing runs (13, 14, 15, 16, 17)
+// never re-simulate.
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"slices"
 
 	"fuse/internal/config"
+	"fuse/internal/engine"
 	"fuse/internal/sim"
 	"fuse/internal/stats"
 	"fuse/internal/trace"
@@ -48,63 +57,148 @@ func (s Scale) Options() sim.Options {
 	}
 }
 
-// Key identifies one (configuration, workload) simulation.
-type Key struct {
-	Kind     config.L1DKind
-	Workload string
-}
-
-// Matrix caches simulation results so that figures sharing the same runs
-// (13, 14, 15, 16, 17) do not re-simulate.
+// Matrix is the experiment layer's view of the engine: a façade over
+// engine.Runner that caches simulation results so that figures sharing the
+// same runs (13, 14, 15, 16, 17) do not re-simulate, and that fills the
+// cache in parallel when an experiment declares its job set up front.
 type Matrix struct {
-	scale   Scale
-	results map[Key]sim.Result
+	scale  Scale
+	runner *engine.Runner
 }
 
-// NewMatrix creates an empty result cache at the given scale.
+// NewMatrix creates an empty result cache at the given scale, executing on
+// the engine's default worker pool (GOMAXPROCS workers).
 func NewMatrix(scale Scale) *Matrix {
-	return &Matrix{scale: scale, results: make(map[Key]sim.Result)}
+	return NewMatrixRunner(scale, engine.New(engine.Config{}))
+}
+
+// NewMatrixWorkers creates a matrix whose engine uses the given number of
+// workers (0 means GOMAXPROCS). Workers only matter for the batched
+// pre-warm paths; the Get accessors are sequential either way.
+func NewMatrixWorkers(scale Scale, workers int) *Matrix {
+	return NewMatrixRunner(scale, engine.New(engine.Config{Workers: workers}))
+}
+
+// NewMatrixRunner wraps an existing engine Runner (the cmd tools build their
+// own to attach progress callbacks and share the cache across experiments).
+func NewMatrixRunner(scale Scale, r *engine.Runner) *Matrix {
+	return &Matrix{scale: scale, runner: r}
 }
 
 // Scale returns the matrix's scale.
 func (m *Matrix) Scale() Scale { return m.scale }
 
+// Runner exposes the underlying engine Runner.
+func (m *Matrix) Runner() *engine.Runner { return m.runner }
+
+// job builds the engine job for a kind-based simulation.
+func (m *Matrix) job(kind config.L1DKind, workload string) engine.Job {
+	return engine.Job{Kind: kind, Workload: workload, Opts: m.scale.Options()}
+}
+
+// customJob builds the engine job for a custom-GPU simulation. The label is
+// the dedup identity, exactly as in the pre-engine Matrix.
+func (m *Matrix) customJob(label string, gpuCfg config.GPUConfig, workload string) engine.Job {
+	cfg := gpuCfg
+	return engine.Job{Label: label, GPU: &cfg, Workload: workload, Opts: m.scale.Options()}
+}
+
 // Get runs (or returns the cached result of) one simulation.
 func (m *Matrix) Get(kind config.L1DKind, workload string) (sim.Result, error) {
-	k := Key{kind, workload}
-	if r, ok := m.results[k]; ok {
-		return r, nil
-	}
-	r, err := sim.RunWorkload(kind, workload, m.scale.Options())
-	if err != nil {
-		return sim.Result{}, err
-	}
-	m.results[k] = r
-	return r, nil
+	return m.runner.Get(context.Background(), m.job(kind, workload))
 }
 
 // GetCustom runs (or returns the cached result of) a simulation with a custom
 // GPU configuration, keyed by a label instead of an L1D kind.
 func (m *Matrix) GetCustom(label string, gpuCfg config.GPUConfig, workload string) (sim.Result, error) {
-	k := Key{Kind: config.L1DKind(200 + len(label)%50), Workload: label + "/" + workload}
-	if r, ok := m.results[k]; ok {
-		return r, nil
-	}
-	prof, ok := trace.ProfileByName(workload)
-	if !ok {
-		return sim.Result{}, fmt.Errorf("experiments: unknown workload %q", workload)
-	}
-	s, err := sim.New(gpuCfg, prof, m.scale.Options())
-	if err != nil {
-		return sim.Result{}, err
-	}
-	r := s.Run()
-	m.results[k] = r
-	return r, nil
+	return m.runner.Get(context.Background(), m.customJob(label, gpuCfg, workload))
 }
 
-// Runs returns the number of cached simulation results.
-func (m *Matrix) Runs() int { return len(m.results) }
+// Runs returns the number of completed (cached) simulation results.
+func (m *Matrix) Runs() int { return m.runner.Completed() }
+
+// Prewarm executes the full job set of the named experiments in parallel on
+// the engine's worker pool, so that the figure functions afterwards are pure
+// cache reads. Jobs shared between experiments are deduplicated by the
+// engine. A nil workloads slice means each experiment's default set.
+func (m *Matrix) Prewarm(ctx context.Context, names []string, workloads []string) error {
+	var jobs []engine.Job
+	for _, name := range names {
+		jobs = append(jobs, m.Jobs(name, workloads)...)
+	}
+	if len(jobs) == 0 {
+		return nil
+	}
+	_, err := m.runner.RunBatch(ctx, jobs)
+	return err
+}
+
+// Jobs declares the full simulation set of one experiment: every (config,
+// workload) point the figure function will request. Experiments that run no
+// simulations (table1, table3, fig6, fig20) declare an empty set. A nil
+// workloads slice means the experiment's default set.
+func (m *Matrix) Jobs(name string, workloads []string) []engine.Job {
+	if workloads == nil {
+		workloads = AllWorkloads()
+	}
+	var jobs []engine.Job
+	kindSet := func(kinds []config.L1DKind, ws []string) {
+		for _, w := range ws {
+			for _, k := range kinds {
+				jobs = append(jobs, m.job(k, w))
+			}
+		}
+	}
+	switch name {
+	case ExpFig1:
+		kindSet([]config.L1DKind{config.L1SRAM}, workloads)
+	case ExpFig3:
+		mw := trace.MotivationWorkloads()
+		kindSet([]config.L1DKind{config.L1SRAM, config.ByNVM}, mw)
+		oracle := oracleGPU()
+		for _, w := range mw {
+			jobs = append(jobs, m.customJob("oracle", oracle, w))
+		}
+	case ExpFig7:
+		ideal := idealFAGPU()
+		for _, suite := range trace.Suites() {
+			for _, w := range trace.BySuite(suite) {
+				jobs = append(jobs, m.job(config.FAFUSE, w))
+				jobs = append(jobs, m.customJob("ideal-fa", ideal, w))
+			}
+		}
+	case ExpTable2:
+		kindSet([]config.L1DKind{config.ByNVM}, workloads)
+	case ExpFig13:
+		kindSet(append([]config.L1DKind{config.L1SRAM}, fig13Kinds...), workloads)
+	case ExpFig14:
+		kindSet(append([]config.L1DKind{config.L1SRAM}, fig13Kinds...), workloads)
+	case ExpFig15:
+		kindSet([]config.L1DKind{config.Hybrid, config.BaseFUSE, config.FAFUSE}, workloads)
+	case ExpFig16:
+		kindSet([]config.L1DKind{config.DyFUSE}, workloads)
+	case ExpFig17:
+		kindSet(append([]config.L1DKind{config.L1SRAM}, fig17Kinds...), workloads)
+	case ExpFig18:
+		for _, w := range trace.RatioSweepWorkloads() {
+			for _, r := range ratioPoints {
+				cfg, err := ratioGPU(r.frac)
+				if err != nil {
+					continue // the figure function reports the error
+				}
+				jobs = append(jobs, m.customJob("ratio-"+r.label, cfg, w))
+			}
+		}
+	case ExpFig19:
+		for _, w := range workloads {
+			jobs = append(jobs, m.customJob("volta-L1-SRAM", voltaGPU(config.L1SRAM), w))
+			for _, kind := range fig19Kinds {
+				jobs = append(jobs, m.customJob("volta-"+kind.String(), voltaGPU(kind), w))
+			}
+		}
+	}
+	return jobs
+}
 
 // fig13Kinds is the configuration order of Figures 13/14.
 var fig13Kinds = []config.L1DKind{
@@ -146,6 +240,19 @@ func AllExperiments() []string {
 // Run executes one experiment by name over the given workloads (nil means the
 // experiment's default set) using the matrix's scale and result cache.
 func Run(m *Matrix, name string, workloads []string) (*stats.Table, error) {
+	return RunContext(context.Background(), m, name, workloads)
+}
+
+// RunContext is Run with cancellation: it pre-warms the engine cache with the
+// experiment's declared job set (executed in parallel on the matrix's worker
+// pool), then builds the table from the cached results.
+func RunContext(ctx context.Context, m *Matrix, name string, workloads []string) (*stats.Table, error) {
+	if !slices.Contains(AllExperiments(), name) {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (want one of %v)", name, AllExperiments())
+	}
+	if err := m.Prewarm(ctx, []string{name}, workloads); err != nil {
+		return nil, err
+	}
 	if workloads == nil {
 		workloads = AllWorkloads()
 	}
@@ -181,6 +288,6 @@ func Run(m *Matrix, name string, workloads []string) (*stats.Table, error) {
 	case ExpTable3:
 		return Table3Area(), nil
 	default:
-		return nil, fmt.Errorf("experiments: unknown experiment %q (want one of %v)", name, AllExperiments())
+		return nil, fmt.Errorf("experiments: experiment %q has no dispatch entry", name)
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -274,6 +275,90 @@ func TestRunDispatch(t *testing.T) {
 	tab, err := Run(m, ExpFig16, []string{"pathf"})
 	if err != nil || len(tab.Rows) == 0 {
 		t.Errorf("Run(fig16): %v", err)
+	}
+}
+
+func TestParallelMatrixByteIdenticalToSerial(t *testing.T) {
+	// The engine's headline guarantee at the experiment layer: a figure
+	// built from a parallel pre-warmed matrix renders byte-identically to
+	// one built serially.
+	serial := NewMatrixWorkers(QuickScale, 1)
+	serialTab, err := Fig13NormalizedIPC(serial, smallWorkloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel := NewMatrixWorkers(QuickScale, 4)
+	if err := parallel.Prewarm(context.Background(), []string{ExpFig13}, smallWorkloads); err != nil {
+		t.Fatal(err)
+	}
+	parallelTab, err := Fig13NormalizedIPC(parallel, smallWorkloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serialTab.String() != parallelTab.String() {
+		t.Errorf("parallel figure 13 differs from serial:\nserial:\n%s\nparallel:\n%s",
+			serialTab.String(), parallelTab.String())
+	}
+}
+
+func TestPrewarmFillsCacheCompletely(t *testing.T) {
+	// After pre-warming an experiment's declared job set, building the
+	// figure must be a pure cache read: no new simulations.
+	m := NewMatrix(QuickScale)
+	if err := m.Prewarm(context.Background(), []string{ExpFig13}, smallWorkloads); err != nil {
+		t.Fatal(err)
+	}
+	runs := m.Runs()
+	if want := 7 * len(smallWorkloads); runs != want { // L1-SRAM + 6 kinds
+		t.Errorf("pre-warm should run the full matrix: %d runs, want %d", runs, want)
+	}
+	if _, err := Fig13NormalizedIPC(m, smallWorkloads); err != nil {
+		t.Fatal(err)
+	}
+	if m.Runs() != runs {
+		t.Errorf("figure build after pre-warm should add no runs: %d -> %d", runs, m.Runs())
+	}
+
+	// Figure 14 shares figure 13's matrix completely.
+	if _, err := Fig14MissRate(m, smallWorkloads); err != nil {
+		t.Fatal(err)
+	}
+	if m.Runs() != runs {
+		t.Errorf("figure 14 should reuse figure 13's runs: %d -> %d", runs, m.Runs())
+	}
+}
+
+func TestJobsDeclarationsMatchFigureDemand(t *testing.T) {
+	// For every simulation-backed experiment, the declared job set must
+	// cover everything the figure function requests: after Prewarm, the
+	// figure build must not add a single run. Tiny scale keeps this cheap.
+	scale := Scale{InstructionsPerWarp: 100, SMs: 1, Seed: 42}
+	workloads := []string{"ATAX", "pathf"}
+	for _, name := range AllExperiments() {
+		m := NewMatrix(scale)
+		if err := m.Prewarm(context.Background(), []string{name}, workloads); err != nil {
+			t.Fatalf("%s: prewarm: %v", name, err)
+		}
+		runs := m.Runs()
+		if _, err := RunContext(context.Background(), m, name, workloads); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if m.Runs() != runs {
+			t.Errorf("%s: figure build ran %d simulations missing from its Jobs declaration",
+				name, m.Runs()-runs)
+		}
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := NewMatrix(QuickScale)
+	if _, err := RunContext(ctx, m, ExpFig13, smallWorkloads); err == nil {
+		t.Errorf("cancelled context should abort the experiment")
+	}
+	if m.Runs() != 0 {
+		t.Errorf("cancelled prewarm should complete no runs, got %d", m.Runs())
 	}
 }
 

@@ -13,6 +13,56 @@ import (
 	"fuse/internal/trace"
 )
 
+// Shared GPU-config constructors. The figure functions and the Matrix's job
+// declarations (Jobs in experiments.go) must build byte-identical
+// configurations under the same labels, or the pre-warmed cache would miss;
+// these helpers are the single source of both.
+
+// oracleGPU is Figure 3's ideal very-large L1D.
+func oracleGPU() config.GPUConfig { return config.FermiGPU(config.OracleL1D()) }
+
+// idealFAGPU is Figure 7b's comparator-unconstrained fully-associative
+// STT-MRAM bank: same geometry as FA-FUSE but without the approximation
+// logic (tag search is free and exact).
+func idealFAGPU() config.GPUConfig {
+	ideal := config.NewL1DConfig(config.FAFUSE)
+	ideal.ApproxFullyAssociative = false
+	ideal.Comparators = 0
+	ideal.CBFCount = 0
+	ideal.CBFHashes = 0
+	ideal.CBFSlots = 0
+	return config.FermiGPU(ideal)
+}
+
+// voltaGPU is Figure 19's Volta-class GPU: the L1 budget is 128 KB, so every
+// configuration is scaled by 4x.
+func voltaGPU(kind config.L1DKind) config.GPUConfig {
+	return config.VoltaGPU(config.ScaleL1D(config.NewL1DConfig(kind), 4))
+}
+
+// ratioPoints are Figure 18's SRAM-fraction sweep points.
+var ratioPoints = []struct {
+	label string
+	frac  float64
+}{
+	{"1/16", 1.0 / 16}, {"1/8", 1.0 / 8}, {"1/4", 1.0 / 4}, {"1/2", 1.0 / 2}, {"3/4", 3.0 / 4},
+}
+
+// ratioGPU builds the Dy-FUSE configuration with the given SRAM fraction.
+func ratioGPU(frac float64) (config.GPUConfig, error) {
+	cfg, err := config.WithRatio(config.DyFUSE, frac)
+	if err != nil {
+		return config.GPUConfig{}, err
+	}
+	return config.FermiGPU(cfg), nil
+}
+
+// fig17Kinds is the configuration order of Figure 17.
+var fig17Kinds = []config.L1DKind{config.ByNVM, config.BaseFUSE, config.FAFUSE, config.DyFUSE}
+
+// fig19Kinds is the configuration order of Figure 19.
+var fig19Kinds = []config.L1DKind{config.ByNVM, config.Hybrid, config.BaseFUSE, config.FAFUSE, config.DyFUSE}
+
 // Fig1OffChipOverheads reproduces Figure 1: the fraction of execution time
 // and of GPU energy spent servicing off-chip memory accesses on the baseline
 // L1-SRAM GPU.
@@ -41,7 +91,7 @@ func Fig1OffChipOverheads(m *Matrix, workloads []string) (*stats.Table, error) {
 func Fig3Motivation(m *Matrix) (*stats.Table, error) {
 	t := stats.NewTable("Figure 3: motivation (Vanilla vs STT-MRAM vs Oracle)",
 		"workload", "miss.vanilla", "miss.sttmram", "miss.oracle", "ipc.vanilla", "ipc.sttmram", "ipc.oracle")
-	oracleGPU := config.FermiGPU(config.OracleL1D())
+	oracle := oracleGPU()
 	for _, w := range trace.MotivationWorkloads() {
 		vanilla, err := m.Get(config.L1SRAM, w)
 		if err != nil {
@@ -51,13 +101,13 @@ func Fig3Motivation(m *Matrix) (*stats.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		oracle, err := m.GetCustom("oracle", oracleGPU, w)
+		res, err := m.GetCustom("oracle", oracle, w)
 		if err != nil {
 			return nil, err
 		}
 		t.AddRowValues(w,
-			vanilla.L1DMissRate, stt.L1DMissRate, oracle.L1DMissRate,
-			1.0, stt.SpeedupOver(vanilla), oracle.SpeedupOver(vanilla))
+			vanilla.L1DMissRate, stt.L1DMissRate, res.L1DMissRate,
+			1.0, stt.SpeedupOver(vanilla), res.SpeedupOver(vanilla))
 	}
 	return t, nil
 }
@@ -90,16 +140,7 @@ func Fig6ReadLevelAnalysis(workloads []string, seed uint64) (*stats.Table, error
 func Fig7ApproxVsFullyAssociative(m *Matrix) (*stats.Table, error) {
 	t := stats.NewTable("Figure 7b: approximation vs. ideal fully-associative STT-MRAM bank",
 		"suite", "ipc.approx/ipc.fullyassoc")
-	// The ideal comparator-unconstrained fully-associative cache: same
-	// geometry as FA-FUSE but without the approximation logic (tag search is
-	// free and exact).
-	ideal := config.NewL1DConfig(config.FAFUSE)
-	ideal.ApproxFullyAssociative = false
-	ideal.Comparators = 0
-	ideal.CBFCount = 0
-	ideal.CBFHashes = 0
-	ideal.CBFSlots = 0
-	idealGPU := config.FermiGPU(ideal)
+	idealGPU := idealFAGPU()
 	for _, suite := range trace.Suites() {
 		var ratios []float64
 		for _, w := range trace.BySuite(suite) {
@@ -294,7 +335,7 @@ func Fig16PredictorAccuracy(m *Matrix, workloads []string) (*stats.Table, error)
 // Fig17L1DEnergy reproduces Figure 17: L1D energy of By-NVM, Base-FUSE,
 // FA-FUSE and Dy-FUSE normalised to L1-SRAM.
 func Fig17L1DEnergy(m *Matrix, workloads []string) (*stats.Table, error) {
-	kinds := []config.L1DKind{config.ByNVM, config.BaseFUSE, config.FAFUSE, config.DyFUSE}
+	kinds := fig17Kinds
 	t := stats.NewTable("Figure 17: L1D energy normalised to L1-SRAM",
 		"workload", "By-NVM", "Base-FUSE", "FA-FUSE", "Dy-FUSE")
 	geo := make(map[config.L1DKind][]float64)
@@ -332,12 +373,7 @@ func Fig17L1DEnergy(m *Matrix, workloads []string) (*stats.Table, error) {
 // Fig18RatioSweep reproduces Figure 18: IPC and L1D miss rate of Dy-FUSE
 // under different SRAM:STT-MRAM area splits, normalised to the 1/16 split.
 func Fig18RatioSweep(m *Matrix) (*stats.Table, error) {
-	ratios := []struct {
-		label string
-		frac  float64
-	}{
-		{"1/16", 1.0 / 16}, {"1/8", 1.0 / 8}, {"1/4", 1.0 / 4}, {"1/2", 1.0 / 2}, {"3/4", 3.0 / 4},
-	}
+	ratios := ratioPoints
 	t := stats.NewTable("Figure 18: SRAM fraction sweep (Dy-FUSE), IPC normalised to 1/16 and miss rate",
 		"workload", "ipc 1/16", "ipc 1/8", "ipc 1/4", "ipc 1/2", "ipc 3/4",
 		"miss 1/16", "miss 1/8", "miss 1/4", "miss 1/2", "miss 3/4")
@@ -345,11 +381,11 @@ func Fig18RatioSweep(m *Matrix) (*stats.Table, error) {
 		ipcs := make([]float64, 0, len(ratios))
 		misses := make([]float64, 0, len(ratios))
 		for _, r := range ratios {
-			cfg, err := config.WithRatio(config.DyFUSE, r.frac)
+			cfg, err := ratioGPU(r.frac)
 			if err != nil {
 				return nil, err
 			}
-			res, err := m.GetCustom("ratio-"+r.label, config.FermiGPU(cfg), w)
+			res, err := m.GetCustom("ratio-"+r.label, cfg, w)
 			if err != nil {
 				return nil, err
 			}
@@ -373,13 +409,9 @@ func Fig18RatioSweep(m *Matrix) (*stats.Table, error) {
 // Fig19Volta reproduces Figure 19: IPC of the configurations on a Volta-class
 // GPU (84 SMs, 6 MB L2, 128 KB L1 budget), normalised to L1-SRAM.
 func Fig19Volta(m *Matrix, workloads []string) (*stats.Table, error) {
-	kinds := []config.L1DKind{config.ByNVM, config.Hybrid, config.BaseFUSE, config.FAFUSE, config.DyFUSE}
+	kinds := fig19Kinds
 	t := stats.NewTable("Figure 19: Volta-class GPU, IPC normalised to L1-SRAM",
 		"workload", "By-NVM", "Hybrid", "Base-FUSE", "FA-FUSE", "Dy-FUSE")
-	// The Volta L1 budget is 128 KB: scale every configuration by 4x.
-	voltaGPU := func(kind config.L1DKind) config.GPUConfig {
-		return config.VoltaGPU(config.ScaleL1D(config.NewL1DConfig(kind), 4))
-	}
 	geo := make(map[config.L1DKind][]float64)
 	for _, w := range workloads {
 		base, err := m.GetCustom("volta-L1-SRAM", voltaGPU(config.L1SRAM), w)

@@ -139,24 +139,17 @@ func (n *Network) flits(bytes int) int64 {
 func (n *Network) pathLinks(src, dst int) []int {
 	path := make([]int, n.stages)
 	routersPerStage := len(n.links[0][0]) / n.cfg.Radix
-	router := src % maxInt(routersPerStage, 1)
+	router := src % max(routersPerStage, 1)
 	d := dst
 	for s := 0; s < n.stages; s++ {
 		port := d % n.cfg.Radix
 		d /= n.cfg.Radix
-		path[s] = (router%maxInt(routersPerStage, 1))*n.cfg.Radix + port
+		path[s] = (router%max(routersPerStage, 1))*n.cfg.Radix + port
 		// The butterfly shuffle: the next-stage router is determined by the
 		// output port and the current router index.
 		router = (router/n.cfg.Radix)*n.cfg.Radix + port
 	}
 	return path
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // send walks the packet through the selected subnetwork, reserving each link

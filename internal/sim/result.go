@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -184,6 +185,11 @@ func (r Result) String() string {
 // RunWorkload is a convenience wrapper: build a simulator for the given L1D
 // kind and workload name using the Fermi-class GPU and run it.
 func RunWorkload(kind config.L1DKind, workload string, opts Options) (Result, error) {
+	return RunWorkloadContext(context.Background(), kind, workload, opts)
+}
+
+// RunWorkloadContext is RunWorkload with cancellation (see RunContext).
+func RunWorkloadContext(ctx context.Context, kind config.L1DKind, workload string, opts Options) (Result, error) {
 	prof, ok := profileByName(workload)
 	if !ok {
 		return Result{}, fmt.Errorf("sim: unknown workload %q", workload)
@@ -193,5 +199,5 @@ func RunWorkload(kind config.L1DKind, workload string, opts Options) (Result, er
 	if err != nil {
 		return Result{}, err
 	}
-	return s.Run(), nil
+	return s.RunContext(ctx)
 }

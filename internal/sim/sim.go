@@ -8,6 +8,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
 	"fuse/internal/config"
@@ -52,14 +53,6 @@ func (o Options) withDefaults() Options {
 		o.RequestBytes = 32
 	}
 	return o
-}
-
-// maxIntSim returns the larger of two ints.
-func maxIntSim(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // event is a memory-side event: a request arriving at an L2 bank or a
@@ -139,10 +132,10 @@ func New(gpuCfg config.GPUConfig, profile trace.Profile, opts Options) (*Simulat
 	channels := gpuCfg.DRAMChannels
 	if smCount < gpuCfg.SMs {
 		scale := float64(smCount) / float64(gpuCfg.SMs)
-		channels = maxIntSim(1, int(float64(gpuCfg.DRAMChannels)*scale+0.5))
-		banksPerChannel := maxIntSim(1, gpuCfg.L2Banks/gpuCfg.DRAMChannels)
+		channels = max(1, int(float64(gpuCfg.DRAMChannels)*scale+0.5))
+		banksPerChannel := max(1, gpuCfg.L2Banks/gpuCfg.DRAMChannels)
 		l2Banks = channels * banksPerChannel
-		l2KB = maxIntSim(l2Banks, int(float64(gpuCfg.L2KBTotal)*scale+0.5))
+		l2KB = max(l2Banks, int(float64(gpuCfg.L2KBTotal)*scale+0.5))
 	}
 
 	s.dram = dram.New(dram.Config{
@@ -284,6 +277,7 @@ func (s *Simulator) fastForwardTarget() int64 {
 			return s.now
 		}
 		consider(sm.NextWakeAt())
+		consider(sm.L1D().NextInternalEventAt(s.now))
 	}
 	if len(s.events) > 0 {
 		consider(s.events[0].at)
@@ -297,13 +291,30 @@ func (s *Simulator) fastForwardTarget() int64 {
 // Run executes the simulation to completion (or the cycle limit) and returns
 // the results.
 func (s *Simulator) Run() Result {
+	res, _ := s.RunContext(context.Background())
+	return res
+}
+
+// RunContext is Run with cancellation: the context is polled every few
+// thousand simulated cycles (cheap enough to be invisible in profiles), and
+// an expired context aborts the run with the context's error.
+func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 	opts := s.opts
+	var steps uint
 	for !s.allDone() && s.now < opts.MaxCycles {
+		if steps++; steps&0xFFF == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
 		// Fast-forward across cycles in which no SM can issue: this keeps
 		// memory-bound runs cheap without changing their timing, because
 		// SM.Cycle still charges the skipped cycles to the stall counters.
+		// The skipped range is [s.now, target): the next Step executes cycle
+		// `target`, so every cycle before it — including the current one —
+		// is charged as idle, exactly as per-cycle execution would.
 		if target := s.fastForwardTarget(); target > s.now+1 {
-			skipped := target - s.now - 1
+			skipped := target - s.now
 			for _, sm := range s.sms {
 				if sm.Done() {
 					continue
@@ -319,5 +330,5 @@ func (s *Simulator) Run() Result {
 		}
 		s.Step()
 	}
-	return s.collect()
+	return s.collect(), nil
 }

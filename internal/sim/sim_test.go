@@ -225,6 +225,61 @@ func TestSimulatorAccessors(t *testing.T) {
 	}
 }
 
+// TestFastForwardMatchesCycleByCycle pins the fast-forward optimisation's
+// core invariant: skipping idle cycles (Run's fastForwardTarget path) must
+// produce exactly the same metrics as stepping every cycle, because the
+// skipped cycles are charged to the same stall counters the per-cycle path
+// would have charged.
+func TestFastForwardMatchesCycleByCycle(t *testing.T) {
+	for _, kind := range []config.L1DKind{config.L1SRAM, config.DyFUSE} {
+		for _, workload := range []string{"ATAX", "pathf"} {
+			opts := quickOpts()
+			prof, ok := trace.ProfileByName(workload)
+			if !ok {
+				t.Fatalf("workload %s missing", workload)
+			}
+			gpuCfg := config.FermiGPU(config.NewL1DConfig(kind))
+
+			fast, err := New(gpuCfg, prof, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fastRes := fast.Run()
+
+			slow, err := New(gpuCfg, prof, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Force cycle-by-cycle execution: Step never fast-forwards.
+			for !slow.allDone() && slow.now < slow.opts.MaxCycles {
+				slow.Step()
+			}
+			slowRes := slow.collect()
+
+			if fastRes != slowRes {
+				t.Errorf("%v/%s: fast-forward result differs from cycle-by-cycle:\nfast: %+v\nslow: %+v",
+					kind, workload, fastRes, slowRes)
+			}
+		}
+	}
+}
+
+func TestProfileByNameMirrorsTrace(t *testing.T) {
+	// profileByName is RunWorkload's single lookup point; it must behave
+	// exactly like trace.ProfileByName for known and unknown names.
+	if _, ok := profileByName("no-such-workload"); ok {
+		t.Errorf("unknown workload should not resolve")
+	}
+	got, ok := profileByName("ATAX")
+	if !ok {
+		t.Fatalf("ATAX should resolve")
+	}
+	want, _ := trace.ProfileByName("ATAX")
+	if got.Name != want.Name || got.APKI != want.APKI || got.Suite != want.Suite {
+		t.Errorf("profileByName should mirror trace.ProfileByName: %+v vs %+v", got, want)
+	}
+}
+
 func TestDefaultsApplied(t *testing.T) {
 	o := Options{}.withDefaults()
 	if o.InstructionsPerWarp == 0 || o.MaxCycles == 0 || o.Seed == 0 || o.RequestBytes == 0 {
