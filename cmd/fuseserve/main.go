@@ -1,0 +1,94 @@
+// Command fuseserve is the HTTP front door of the simulation service: it
+// executes simulation batches on the concurrent engine, persists every result
+// in the content-addressed store shared with fusesim/fusetables, and serves
+// the paper's evaluation figures — warm requests are pure store reads and
+// never simulate.
+//
+// Endpoints:
+//
+//	POST /v1/batch            run a batch of (kind, workload) simulations
+//	GET  /v1/result/{key}     fetch one stored result by content key
+//	GET  /v1/figures/{13..17} render an evaluation figure as a text table
+//	                          (optional ?workloads=ATAX,GEMM subset)
+//
+// Usage:
+//
+//	fuseserve -addr :8080 -store /var/lib/fuse -scale bench
+//	curl -s localhost:8080/v1/figures/13
+//	curl -s -X POST localhost:8080/v1/batch \
+//	  -d '{"jobs":[{"kind":"Dy-FUSE","workload":"ATAX"}]}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"fuse/internal/engine"
+	"fuse/internal/experiments"
+	"fuse/internal/store"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		scaleName = flag.String("scale", "bench", "simulation scale: quick, bench or full")
+		storeDir  = flag.String("store", "", "persistent result-store directory shared with fusesim/fusetables (empty = memory only)")
+		parallel  = flag.Int("parallel", 0, "number of concurrent simulations (0 = GOMAXPROCS)")
+		timeout   = flag.Duration("timeout", 0, "per-request timeout (0 = no limit)")
+	)
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "quick":
+		scale = experiments.QuickScale
+	case "bench":
+		scale = experiments.BenchScale
+	case "full":
+		scale = experiments.FullScale
+	default:
+		fmt.Fprintf(os.Stderr, "fuseserve: unknown scale %q (want quick, bench or full)\n", *scaleName)
+		os.Exit(1)
+	}
+
+	// The memory tier serves repeat requests within this process; the disk
+	// tier (when configured) makes results outlive it and shares them with
+	// the CLI tools.
+	tiers := []store.Cache{store.NewMemory()}
+	if *storeDir != "" {
+		disk, err := store.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fuseserve: %v\n", err)
+			os.Exit(1)
+		}
+		tiers = append(tiers, disk)
+	}
+	cache := store.NewTiered(tiers...)
+
+	runner := engine.New(engine.Config{Workers: *parallel, Cache: cache})
+	handler := newServer(scale, runner, cache, *timeout)
+
+	if *storeDir != "" {
+		log.Printf("fuseserve: store %s, scale %s, %d workers, listening on %s",
+			*storeDir, *scaleName, runner.Workers(), *addr)
+	} else {
+		log.Printf("fuseserve: in-memory store only, scale %s, %d workers, listening on %s",
+			*scaleName, runner.Workers(), *addr)
+	}
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: handler,
+		// Transport-level guards: the per-request -timeout only bounds the
+		// simulation work after a request is parsed, so slow-sending and
+		// idle clients are bounded here instead of pinning goroutines.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatalf("fuseserve: %v", err)
+	}
+}

@@ -1,0 +1,265 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"fuse/internal/config"
+	"fuse/internal/engine"
+	"fuse/internal/experiments"
+	"fuse/internal/sim"
+	"fuse/internal/store"
+	"fuse/internal/trace"
+)
+
+// server is the HTTP front door over the engine Runner and the result store:
+// batches execute concurrently on the shared worker pool, results persist in
+// the content-addressed store, and the figure endpoints serve the experiment
+// layer's tables. Handlers run concurrently (one goroutine per request,
+// net/http's model); the Runner deduplicates identical simulations across
+// requests that race.
+//
+// Known limitation: the Runner's dedup map and the memory cache tier retain
+// every distinct result for the lifetime of the process, so a deployment
+// facing untrusted clients (who can mint unlimited distinct keys through the
+// batch options) needs an authentication or quota layer in front; the disk
+// tier is the component designed to hold an unbounded result set.
+type server struct {
+	matrix  *experiments.Matrix
+	runner  *engine.Runner
+	results store.Cache
+	timeout time.Duration
+}
+
+// newServer wires the API routes. results is the cache consulted by
+// GET /v1/result (usually the same tiered cache the Runner writes through).
+func newServer(scale experiments.Scale, runner *engine.Runner, results store.Cache, timeout time.Duration) http.Handler {
+	s := &server{
+		matrix:  experiments.NewMatrixRunner(scale, runner),
+		runner:  runner,
+		results: results,
+		timeout: timeout,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/result/{key}", s.handleResult)
+	mux.HandleFunc("GET /v1/figures/{fig}", s.handleFigure)
+	return mux
+}
+
+// requestContext bounds one request by the server's per-request timeout.
+func (s *server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.timeout <= 0 {
+		return context.WithCancel(r.Context())
+	}
+	return context.WithTimeout(r.Context(), s.timeout)
+}
+
+// batchJob is one simulation point of a batch request.
+type batchJob struct {
+	// Kind is the L1D configuration name (config.ParseL1DKind).
+	Kind string `json:"kind"`
+	// Workload is the benchmark name (see trace.Names).
+	Workload string `json:"workload"`
+}
+
+// batchOptions overrides the server scale's simulation options per batch.
+type batchOptions struct {
+	InstructionsPerWarp uint64 `json:"instructionsPerWarp,omitempty"`
+	SMs                 int    `json:"sms,omitempty"`
+	Seed                uint64 `json:"seed,omitempty"`
+}
+
+// batchRequest is the body of POST /v1/batch.
+type batchRequest struct {
+	Jobs    []batchJob    `json:"jobs"`
+	Options *batchOptions `json:"options,omitempty"`
+}
+
+// batchResult is one per-job entry of a batch response, in submission order.
+type batchResult struct {
+	Kind     string `json:"kind"`
+	Workload string `json:"workload"`
+	// Key is the content-addressed store key; the result stays fetchable at
+	// GET /v1/result/{key} after the batch returns.
+	Key    string      `json:"key,omitempty"`
+	Result *sim.Result `json:"result,omitempty"`
+	Error  string      `json:"error,omitempty"`
+}
+
+// batchResponse is the body of a POST /v1/batch response.
+type batchResponse struct {
+	Results []batchResult `json:"results"`
+	// Executed and StoreHits snapshot the Runner counters after the batch
+	// (process-lifetime totals, not per-batch deltas).
+	Executed  int `json:"executed"`
+	StoreHits int `json:"storeHits"`
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "malformed request: %v", err)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		httpError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+
+	opts := s.matrix.Scale().Options()
+	if o := req.Options; o != nil {
+		if o.InstructionsPerWarp > 0 {
+			opts.InstructionsPerWarp = o.InstructionsPerWarp
+		}
+		if o.SMs > 0 {
+			opts.SMOverride = o.SMs
+		}
+		if o.Seed > 0 {
+			opts.Seed = o.Seed
+		}
+	}
+
+	jobs := make([]engine.Job, 0, len(req.Jobs))
+	for i, j := range req.Jobs {
+		kind, err := config.ParseL1DKind(j.Kind)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "job %d: %v", i, err)
+			return
+		}
+		if _, ok := trace.ProfileByName(j.Workload); !ok {
+			httpError(w, http.StatusBadRequest, "job %d: unknown workload %q", i, j.Workload)
+			return
+		}
+		jobs = append(jobs, engine.Job{Kind: kind, Workload: j.Workload, Opts: opts})
+	}
+
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	results, err := s.runner.RunBatch(ctx, jobs)
+	// Classify timeouts by the request context itself, not by whichever job
+	// happened to fail first inside the batch error: an expired deadline is
+	// always a 504, regardless of submission order.
+	if err != nil && ctx.Err() != nil {
+		httpError(w, http.StatusGatewayTimeout, "batch timed out: %v", ctx.Err())
+		return
+	}
+	// Per-job failures are reported in the body, not as a transport error:
+	// the rest of the batch is still useful.
+	perJob := map[int]string{}
+	var be *engine.BatchError
+	if errors.As(err, &be) {
+		for _, je := range be.Errors {
+			for i := range jobs {
+				if jobs[i].Key() == je.Job.Key() {
+					perJob[i] = je.Err.Error()
+				}
+			}
+		}
+	} else if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+
+	resp := batchResponse{
+		Results:   make([]batchResult, len(jobs)),
+		Executed:  s.runner.Executed(),
+		StoreHits: s.runner.StoreHits(),
+	}
+	for i := range jobs {
+		entry := batchResult{Kind: req.Jobs[i].Kind, Workload: req.Jobs[i].Workload}
+		if msg, failed := perJob[i]; failed {
+			entry.Error = msg
+		} else {
+			res := results[i]
+			entry.Result = &res
+			if key, err := engine.StoreKey(jobs[i]); err == nil {
+				entry.Key = key
+			}
+		}
+		resp.Results[i] = entry
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !store.ValidKey(key) {
+		httpError(w, http.StatusBadRequest, "malformed key %q (want 64 hex digits)", key)
+		return
+	}
+	res, ok := s.results.Get(key)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no result for key %s", key)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// figureExperiments maps the servable figure numbers onto experiment names.
+// Figures 13-17 are the evaluation matrix the store is built to serve; they
+// share one six-kind job set, so any of them warms the others.
+var figureExperiments = map[string]string{
+	"13": experiments.ExpFig13,
+	"14": experiments.ExpFig14,
+	"15": experiments.ExpFig15,
+	"16": experiments.ExpFig16,
+	"17": experiments.ExpFig17,
+}
+
+func (s *server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	fig := r.PathValue("fig")
+	name, ok := figureExperiments[fig]
+	if !ok {
+		httpError(w, http.StatusNotFound, "figure %q not servable (want 13..17)", fig)
+		return
+	}
+	var workloads []string // nil = the experiment's full set
+	if wl := r.URL.Query().Get("workloads"); wl != "" {
+		for _, workload := range strings.Split(wl, ",") {
+			workload = strings.TrimSpace(workload)
+			if workload == "" {
+				continue
+			}
+			if _, ok := trace.ProfileByName(workload); !ok {
+				httpError(w, http.StatusBadRequest, "unknown workload %q", workload)
+				return
+			}
+			workloads = append(workloads, workload)
+		}
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	table, err := experiments.RunContext(ctx, s.matrix, name, workloads)
+	if err != nil {
+		if ctx.Err() != nil || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			httpError(w, http.StatusGatewayTimeout, "figure %s timed out: %v", fig, err)
+		} else {
+			httpError(w, http.StatusInternalServerError, "figure %s: %v", fig, err)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, table.String())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,281 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fuse/internal/engine"
+	"fuse/internal/experiments"
+	"fuse/internal/sim"
+	"fuse/internal/store"
+)
+
+// newTestServer builds a quick-scale server over a fresh memory+disk cache,
+// counting real simulator executions.
+func newTestServer(t *testing.T, dir string, execs *atomic.Int32) *httptest.Server {
+	t.Helper()
+	disk, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := store.NewTiered(store.NewMemory(), disk)
+	runner := engine.New(engine.Config{
+		Cache: cache,
+		Exec: func(ctx context.Context, job engine.Job) (sim.Result, error) {
+			execs.Add(1)
+			return engine.Execute(ctx, job)
+		},
+	})
+	ts := httptest.NewServer(newServer(experiments.QuickScale, runner, cache, time.Minute))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postBatch(t *testing.T, ts *httptest.Server, body string) (*http.Response, batchResponse) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var br batchResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, &br); err != nil {
+			t.Fatalf("decoding batch response: %v\n%s", err, data)
+		}
+	}
+	return resp, br
+}
+
+func TestBatchEndpointRunsAndStoresResults(t *testing.T) {
+	var execs atomic.Int32
+	ts := newTestServer(t, t.TempDir(), &execs)
+
+	resp, br := postBatch(t, ts, `{"jobs":[
+		{"kind":"L1-SRAM","workload":"ATAX"},
+		{"kind":"Dy-FUSE","workload":"ATAX"}
+	]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if len(br.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(br.Results))
+	}
+	for i, res := range br.Results {
+		if res.Error != "" {
+			t.Fatalf("job %d failed: %s", i, res.Error)
+		}
+		if res.Result == nil || res.Result.Cycles == 0 {
+			t.Errorf("job %d: empty result", i)
+		}
+		if !store.ValidKey(res.Key) {
+			t.Errorf("job %d: bad store key %q", i, res.Key)
+		}
+	}
+	if execs.Load() != 2 {
+		t.Errorf("executed %d simulations, want 2", execs.Load())
+	}
+
+	// The batch's results are immediately fetchable by key.
+	keyResp, err := http.Get(ts.URL + "/v1/result/" + br.Results[0].Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer keyResp.Body.Close()
+	if keyResp.StatusCode != http.StatusOK {
+		t.Fatalf("GET result status = %d", keyResp.StatusCode)
+	}
+	var fetched sim.Result
+	if err := json.NewDecoder(keyResp.Body).Decode(&fetched); err != nil {
+		t.Fatal(err)
+	}
+	if fetched.Cycles != br.Results[0].Result.Cycles || fetched.Workload != "ATAX" {
+		t.Errorf("fetched result does not match the batch result")
+	}
+
+	// Re-submitting the batch is served without simulating.
+	resp2, br2 := postBatch(t, ts, `{"jobs":[
+		{"kind":"L1-SRAM","workload":"ATAX"},
+		{"kind":"Dy-FUSE","workload":"ATAX"}
+	]}`)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("warm status = %d", resp2.StatusCode)
+	}
+	if execs.Load() != 2 {
+		t.Errorf("warm batch re-simulated: %d executions", execs.Load())
+	}
+	if br2.Results[0].Result.IPC != br.Results[0].Result.IPC {
+		t.Errorf("warm result differs from cold")
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	var execs atomic.Int32
+	ts := newTestServer(t, t.TempDir(), &execs)
+	cases := []struct {
+		name, body string
+	}{
+		{"malformed JSON", `{"jobs":`},
+		{"empty batch", `{"jobs":[]}`},
+		{"unknown kind", `{"jobs":[{"kind":"NVRAM","workload":"ATAX"}]}`},
+		{"unknown workload", `{"jobs":[{"kind":"Dy-FUSE","workload":"nope"}]}`},
+		{"unknown field", `{"jobs":[{"kind":"Dy-FUSE","workload":"ATAX"}],"bogus":1}`},
+	}
+	for _, tc := range cases {
+		resp, _ := postBatch(t, ts, tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+	if execs.Load() != 0 {
+		t.Errorf("rejected batches must not simulate")
+	}
+}
+
+func TestResultEndpointKeyHandling(t *testing.T) {
+	var execs atomic.Int32
+	ts := newTestServer(t, t.TempDir(), &execs)
+
+	resp, err := http.Get(ts.URL + "/v1/result/not-a-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed key: status = %d, want 400", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/result/" + strings.Repeat("ab", 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown key: status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestFigureEndpointServesFig13(t *testing.T) {
+	var execs atomic.Int32
+	ts := newTestServer(t, t.TempDir(), &execs)
+
+	resp, err := http.Get(ts.URL + "/v1/figures/13?workloads=ATAX,pathf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(body, []byte("Figure 13")) || !bytes.Contains(body, []byte("ATAX")) {
+		t.Errorf("figure table missing expected content:\n%s", body)
+	}
+	cold := execs.Load()
+	if cold == 0 {
+		t.Fatalf("cold figure should simulate")
+	}
+
+	// Figure 14 shares figure 13's matrix: serving it is free.
+	resp2, err := http.Get(ts.URL + "/v1/figures/14?workloads=ATAX,pathf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("fig14 status = %d", resp2.StatusCode)
+	}
+	if execs.Load() != cold {
+		t.Errorf("figure 14 re-simulated the shared matrix (%d -> %d executions)", cold, execs.Load())
+	}
+
+	// Unknown figures 404.
+	resp3, err := http.Get(ts.URL + "/v1/figures/12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Errorf("figure 12: status = %d, want 404", resp3.StatusCode)
+	}
+
+	// Unknown workloads are a client error, not a 500.
+	resp4, err := http.Get(ts.URL + "/v1/figures/13?workloads=ATAXX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp4.Body.Close()
+	if resp4.StatusCode != http.StatusBadRequest {
+		t.Errorf("bogus workload: status = %d, want 400", resp4.StatusCode)
+	}
+}
+
+func TestServerWarmAcrossProcessesViaSharedStore(t *testing.T) {
+	// Two server "processes" sharing one store directory: the second serves
+	// the figure without a single simulation.
+	dir := t.TempDir()
+
+	var cold atomic.Int32
+	ts1 := newTestServer(t, dir, &cold)
+	resp, err := http.Get(ts1.URL + "/v1/figures/13?workloads=ATAX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	table1, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if cold.Load() == 0 {
+		t.Fatalf("cold server should simulate")
+	}
+	ts1.Close()
+
+	var warm atomic.Int32
+	ts2 := newTestServer(t, dir, &warm)
+	resp2, err := http.Get(ts2.URL + "/v1/figures/13?workloads=ATAX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	table2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if warm.Load() != 0 {
+		t.Errorf("warm server executed %d simulations, want 0", warm.Load())
+	}
+	if !bytes.Equal(table1, table2) {
+		t.Errorf("warm figure differs from cold:\n--- cold ---\n%s\n--- warm ---\n%s", table1, table2)
+	}
+}
+
+func TestPerRequestTimeout(t *testing.T) {
+	// A stalling executor plus a tiny timeout: the batch must come back as
+	// 504, not hang.
+	cache := store.NewTiered(store.NewMemory())
+	runner := engine.New(engine.Config{
+		Cache: cache,
+		Exec: func(ctx context.Context, job engine.Job) (sim.Result, error) {
+			<-ctx.Done()
+			return sim.Result{}, ctx.Err()
+		},
+	})
+	ts := httptest.NewServer(newServer(experiments.QuickScale, runner, cache, 50*time.Millisecond))
+	defer ts.Close()
+
+	resp, _ := postBatch(t, ts, `{"jobs":[{"kind":"Dy-FUSE","workload":"ATAX"}]}`)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("status = %d, want 504", resp.StatusCode)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"fuse/internal/energy"
 	"fuse/internal/engine"
 	"fuse/internal/sim"
+	"fuse/internal/store"
 	"fuse/internal/trace"
 )
 
@@ -41,6 +42,7 @@ func main() {
 		showEnergy   = flag.Bool("energy", true, "print the energy breakdown")
 		parallel     = flag.Int("parallel", 0, "number of concurrent simulations (0 = GOMAXPROCS)")
 		timeout      = flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
+		storeDir     = flag.String("store", "", "persistent result-store directory shared with fusetables/fuseserve (empty = no store)")
 	)
 	flag.Parse()
 
@@ -100,10 +102,22 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	runner := engine.New(engine.Config{Workers: *parallel})
+	cfg := engine.Config{Workers: *parallel}
+	if *storeDir != "" {
+		cache, err := store.OpenTiered(*storeDir)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cfg.Cache = cache
+	}
+	runner := engine.New(cfg)
 	results, err := runner.RunBatch(ctx, jobs)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if *storeDir != "" {
+		fmt.Fprintf(os.Stderr, "[store %s: %d loaded, %d simulated]\n",
+			*storeDir, runner.StoreHits(), runner.Executed())
 	}
 
 	for i, res := range results {

@@ -14,6 +14,12 @@
 //	fusetables -exp all -scale full       # everything, full 15-SM GPU
 //	fusetables -exp fig14 -workloads ATAX,BICG,GESUM
 //	fusetables -exp all -parallel 8 -timeout 10m -progress
+//	fusetables -exp fig13 -store ~/.cache/fuse  # persist results; reruns are warm
+//
+// With -store, completed simulations are persisted to a content-addressed
+// result store shared with fusesim and fuseserve; a second run of the same
+// experiment reads everything back ("[store ...: N loaded, 0 simulated]" on
+// stderr) and renders byte-identical tables.
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 
 	"fuse/internal/engine"
 	"fuse/internal/experiments"
+	"fuse/internal/store"
 )
 
 func main() {
@@ -37,6 +44,7 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "number of concurrent simulations (0 = GOMAXPROCS)")
 		timeout   = flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
 		progress  = flag.Bool("progress", false, "print per-simulation progress to stderr")
+		storeDir  = flag.String("store", "", "persistent result-store directory shared with fusesim/fuseserve (empty = no store)")
 	)
 	flag.Parse()
 
@@ -75,6 +83,14 @@ func main() {
 	}
 
 	cfg := engine.Config{Workers: *parallel}
+	if *storeDir != "" {
+		cache, err := store.OpenTiered(*storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fusetables: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.Cache = cache
+	}
 	if *progress {
 		cfg.Progress = func(p engine.Progress) {
 			status := "done"
@@ -94,6 +110,12 @@ func main() {
 	if err := matrix.Prewarm(ctx, names, subset); err != nil {
 		fmt.Fprintf(os.Stderr, "fusetables: %v\n", err)
 		os.Exit(1)
+	}
+	if *storeDir != "" {
+		// The summary line is the machine-checkable warm/cold indicator: a
+		// fully warm run reports "0 simulated".
+		fmt.Fprintf(os.Stderr, "[store %s: %d loaded, %d simulated]\n",
+			*storeDir, runner.StoreHits(), runner.Executed())
 	}
 	if *timing {
 		fmt.Printf("[pre-warm: %d simulations on %d workers in %v]\n\n",

@@ -11,19 +11,25 @@
 // Run with:
 //
 //	go run ./examples/ratiosweep
+//	go run ./examples/ratiosweep -store /tmp/fusestore   # reruns are warm
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 
 	"fuse/internal/config"
 	"fuse/internal/engine"
 	"fuse/internal/sim"
+	"fuse/internal/store"
 )
 
 func main() {
+	storeDir := flag.String("store", "", "persistent result-store directory (optional)")
+	flag.Parse()
+
 	const workload = "GEMM"
 	opts := sim.Options{InstructionsPerWarp: 500, SMOverride: 3, Seed: 11}
 
@@ -52,14 +58,23 @@ func main() {
 		})
 	}
 
-	runner := engine.New(engine.Config{})
+	cfg := engine.Config{}
+	if *storeDir != "" {
+		cache, err := store.OpenTiered(*storeDir)
+		if err != nil {
+			log.Fatalf("store: %v", err)
+		}
+		cfg.Cache = cache
+	}
+	runner := engine.New(cfg)
 	results, err := runner.RunBatch(context.Background(), jobs)
 	if err != nil {
 		log.Fatalf("batch: %v", err)
 	}
 
 	fmt.Printf("=== SRAM : STT-MRAM split sweep on %s (Dy-FUSE, fixed area budget) ===\n", workload)
-	fmt.Printf("(%d simulations on %d workers)\n", len(jobs), runner.Workers())
+	fmt.Printf("(%d simulations on %d workers, %d served from the store)\n",
+		len(jobs), runner.Workers(), runner.StoreHits())
 	fmt.Printf("%-6s %10s %12s %10s %10s\n", "SRAM", "SRAM KB", "STT-MRAM KB", "IPC", "miss rate")
 
 	bestLabel, bestIPC := "", 0.0

@@ -11,19 +11,25 @@
 // Run with:
 //
 //	go run ./examples/voltascale
+//	go run ./examples/voltascale -store /tmp/fusestore   # reruns are warm
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 
 	"fuse/internal/config"
 	"fuse/internal/engine"
 	"fuse/internal/sim"
+	"fuse/internal/store"
 )
 
 func main() {
+	storeDir := flag.String("store", "", "persistent result-store directory (optional)")
+	flag.Parse()
+
 	workloads := []string{"ATAX", "2MM"}
 	kinds := []config.L1DKind{config.L1SRAM, config.ByNVM, config.BaseFUSE, config.DyFUSE}
 
@@ -47,14 +53,23 @@ func main() {
 		}
 	}
 
-	runner := engine.New(engine.Config{})
+	cfg := engine.Config{}
+	if *storeDir != "" {
+		cache, err := store.OpenTiered(*storeDir)
+		if err != nil {
+			log.Fatalf("store: %v", err)
+		}
+		cfg.Cache = cache
+	}
+	runner := engine.New(cfg)
 	results, err := runner.RunBatch(context.Background(), jobs)
 	if err != nil {
 		log.Fatalf("batch: %v", err)
 	}
 
 	fmt.Println("=== Volta-class GPU (84 SMs, 6 MB L2, 128 KB L1 budget) ===")
-	fmt.Printf("(%d simulations on %d workers)\n", len(jobs), runner.Workers())
+	fmt.Printf("(%d simulations on %d workers, %d served from the store)\n",
+		len(jobs), runner.Workers(), runner.StoreHits())
 	for wi, w := range workloads {
 		fmt.Printf("\n%s:\n", w)
 		base := results[wi*len(kinds)] // kinds[0] is the L1-SRAM baseline

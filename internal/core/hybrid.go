@@ -36,6 +36,10 @@ type HybridL1D struct {
 	// blockedUntil is the cycle until which the whole cache is blocked
 	// (Hybrid-style blocking migrations or tag-queue flushes).
 	blockedUntil int64
+	// sttStallChargedUntil is the cycle up to which STT-write stall cycles
+	// have already been accounted, so that overlapping blocking windows and
+	// per-request retries never charge the same cycle twice.
+	sttStallChargedUntil int64
 
 	outgoing []mem.Request
 	stats    Stats
@@ -127,9 +131,12 @@ func (h *HybridL1D) Access(req mem.Request, now int64) AccessResult {
 // predictor's sampler.
 func (h *HybridL1D) access(req mem.Request, now int64) AccessResult {
 	// A blocked cache (Hybrid migration or tag-queue flush in flight)
-	// rejects every request.
+	// rejects every request. The stall cycles of the blocking window were
+	// charged when the block was installed; charging here as well would
+	// count one blocked cycle once per retrying warp (several warps retry
+	// within the same cycle), inflating the Figure-15 decomposition.
 	if now < h.blockedUntil {
-		h.stats.STTWriteStallCycles++
+		h.chargeSTTStall(now, h.blockedUntil)
 		return AccessResult{Outcome: OutcomeStall}
 	}
 	write := req.Kind == mem.Write
@@ -178,7 +185,34 @@ func (h *HybridL1D) access(req mem.Request, now int64) AccessResult {
 		return AccessResult{Outcome: OutcomeHit, Latency: int(done - now), Bank: cache.DestSRAM}
 	}
 
-	// 3. STT-MRAM tag search, through the approximation logic if present.
+	// 3. Tag-queue snoop: a fill or migration that is queued but not yet
+	// written into the STT-MRAM array is still owned by the cache (its data
+	// waits in the swap buffer or the fill response register), so a lookup
+	// must hit or the cache would fetch a block it already holds. Reads are
+	// served at SRAM-side latency, exactly like a swap hit; writes pull the
+	// block into SRAM instead of chasing the queued operation into the
+	// STT-MRAM bank.
+	if h.nonBlocking() && h.queue.Contains(block) {
+		h.stats.Hits++
+		h.stats.QueueHits++
+		if write {
+			// Queue-only entries are exactly the fills whose swap-buffer
+			// insert failed (a swap-resident block is caught by step 2
+			// above), so only the queued operation needs dropping.
+			op, _ := h.dropQueuedOp(block)
+			h.insertSRAM(block, req.PC, now, true, mem.WriteMultiple, op.Dirty)
+			h.stats.MigrationsToSRAM++
+		}
+		done := h.sramBank.Access(now, write)
+		if write {
+			h.stats.SRAMWrites++
+		} else {
+			h.stats.SRAMReads++
+		}
+		return AccessResult{Outcome: OutcomeHit, Latency: int(done - now), Bank: cache.DestSRAM}
+	}
+
+	// 4. STT-MRAM tag search, through the approximation logic if present.
 	searchCycles := 0
 	mayHit := true
 	present := h.stt.Probe(block)
@@ -190,7 +224,7 @@ func (h *HybridL1D) access(req mem.Request, now int64) AccessResult {
 		return h.sttHit(req, block, now, write, searchCycles)
 	}
 
-	// 4. Miss: decide the fill destination and allocate an MSHR entry.
+	// 5. Miss: decide the fill destination and allocate an MSHR entry.
 	return h.miss(req, block, now, write)
 }
 
@@ -201,7 +235,7 @@ func (h *HybridL1D) sttHit(req mem.Request, block uint64, now int64, write bool,
 		// (Hybrid) a busy bank rejects the request; with one, the access
 		// is absorbed.
 		if !h.nonBlocking() && h.sttBank.Busy(now) {
-			h.stats.STTWriteStallCycles++
+			h.chargeSTTStall(now, h.sttBank.BusyUntil())
 			h.undoAccess(write)
 			return AccessResult{Outcome: OutcomeStall, Bank: cache.DestSTTMRAM}
 		}
@@ -229,13 +263,17 @@ func (h *HybridL1D) sttHit(req mem.Request, block uint64, now int64, write bool,
 		if h.approx != nil {
 			h.approx.Unregister(block)
 		}
-		h.sttBank.Access(now, false) // read the data out of the STT-MRAM array
+		// Read the data out of the STT-MRAM array. The bank serialises the
+		// read behind any in-flight write, and the migrating write into
+		// SRAM cannot start before the data is available, so the reported
+		// latency must include both the busy window and the STT read.
+		readDone := h.sttBank.Access(now, false)
 		h.stats.STTReads++
 		h.stats.MigrationsToSRAM++
 		h.insertSRAM(block, req.PC, now, true, mem.WriteMultiple, line.Dirty)
 		h.stats.Hits++
 		h.stats.STTHits++
-		done := h.sramBank.Access(now, true)
+		done := h.sramBank.Access(readDone, true)
 		h.stats.SRAMWrites++
 		return AccessResult{Outcome: OutcomeHit, Latency: int(done-now) + searchCycles, Bank: cache.DestSRAM}
 	}
@@ -243,7 +281,7 @@ func (h *HybridL1D) sttHit(req mem.Request, block uint64, now int64, write bool,
 	// Hybrid: the write goes straight into the STT-MRAM bank and blocks
 	// the cache for the full write latency.
 	if h.sttBank.Busy(now) {
-		h.stats.STTWriteStallCycles++
+		h.chargeSTTStall(now, h.sttBank.BusyUntil())
 		h.undoAccess(write)
 		return AccessResult{Outcome: OutcomeStall, Bank: cache.DestSTTMRAM}
 	}
@@ -253,8 +291,26 @@ func (h *HybridL1D) sttHit(req mem.Request, block uint64, now int64, write bool,
 	done := h.sttBank.Access(now, true)
 	h.stats.STTWrites++
 	h.blockedUntil = done
-	h.stats.STTWriteStallCycles += uint64(done - now - 1)
+	// The writing warp makes progress this cycle; only [now+1, done) is
+	// blocked for everyone.
+	h.chargeSTTStall(now+1, done)
 	return AccessResult{Outcome: OutcomeHit, Latency: int(done - now), Bank: cache.DestSTTMRAM}
+}
+
+// chargeSTTStall accounts the blocked cycles in [from, until) to the
+// STT-write stall counter, skipping any prefix that has already been charged.
+// Every stall-charging path goes through here so that each blocked cycle is
+// counted exactly once, no matter how many warps retry inside the window or
+// how blocking windows overlap.
+func (h *HybridL1D) chargeSTTStall(from, until int64) {
+	if from < h.sttStallChargedUntil {
+		from = h.sttStallChargedUntil
+	}
+	if until <= from {
+		return
+	}
+	h.stats.STTWriteStallCycles += uint64(until - from)
+	h.sttStallChargedUntil = until
 }
 
 // undoAccess reverses the access counters when a request is rejected after
@@ -395,9 +451,7 @@ func (h *HybridL1D) migrateToSTT(victim cache.Line, now int64) {
 	// the whole cache stalls for the duration of the STT-MRAM write.
 	done := h.writeSTT(victim.Block, victim.PC, now, victim.Dirty, victim.Level)
 	h.blockedUntil = done
-	if done > now {
-		h.stats.STTWriteStallCycles += uint64(done - now)
-	}
+	h.chargeSTTStall(now, done)
 }
 
 // fillSTT places a block arriving from the L2 into the STT-MRAM bank.
@@ -406,8 +460,8 @@ func (h *HybridL1D) fillSTT(block, pc uint64, now int64, write bool, level mem.R
 		if h.queue.Push(TagOp{Kind: TagOpFill, Block: block, PC: pc, Dirty: write, Level: level}) {
 			// The fill is logically present once queued; park the data in
 			// the swap buffer so intervening reads hit. If the swap buffer
-			// is full the data waits only in the queue (reads will miss to
-			// the queue entry, which we treat as present via Contains).
+			// is full the data waits only in the queue, and the lookup
+			// path's tag-queue snoop keeps it visible.
 			h.swap.Insert(block, pc, write)
 			return
 		}
@@ -416,9 +470,7 @@ func (h *HybridL1D) fillSTT(block, pc uint64, now int64, write bool, level mem.R
 	done := h.writeSTT(block, pc, now, write, level)
 	if !h.nonBlocking() {
 		h.blockedUntil = done
-		if done > now {
-			h.stats.STTWriteStallCycles += uint64(done - now)
-		}
+		h.chargeSTTStall(now, done)
 	}
 }
 
@@ -446,12 +498,14 @@ func (h *HybridL1D) writeSTT(block, pc uint64, now int64, dirty bool, level mem.
 }
 
 // dropQueuedOp removes a pending tag-queue operation for the block (used when
-// a swap-buffer hit pulls the block back into SRAM before its migration
-// retired).
-func (h *HybridL1D) dropQueuedOp(block uint64) {
+// a swap-buffer or tag-queue hit pulls the block back into SRAM before its
+// migration retired). It returns the dropped operation, if one was pending.
+func (h *HybridL1D) dropQueuedOp(block uint64) (TagOp, bool) {
 	if h.queue.Empty() {
-		return
+		return TagOp{}, false
 	}
+	var dropped TagOp
+	found := false
 	kept := make([]TagOp, 0, h.queue.Len())
 	for {
 		op, ok := h.queue.Pop()
@@ -460,11 +514,15 @@ func (h *HybridL1D) dropQueuedOp(block uint64) {
 		}
 		if op.Block != block {
 			kept = append(kept, op)
+		} else {
+			dropped = op
+			found = true
 		}
 	}
 	for _, op := range kept {
 		h.queue.Push(op)
 	}
+	return dropped, found
 }
 
 // drainQueue retires every pending tag-queue operation immediately (the
@@ -482,7 +540,7 @@ func (h *HybridL1D) drainQueue(now int64) {
 	}
 	if last > now {
 		h.blockedUntil = last
-		h.stats.STTWriteStallCycles += uint64(last - now)
+		h.chargeSTTStall(now, last)
 	}
 }
 
@@ -568,6 +626,7 @@ func (h *HybridL1D) Reset() {
 		h.pred.Reset()
 	}
 	h.blockedUntil = 0
+	h.sttStallChargedUntil = 0
 	h.outgoing = nil
 	h.stats = Stats{}
 }

@@ -133,6 +133,196 @@ func TestSwapBufferHitWhileMigrationPending(t *testing.T) {
 	}
 }
 
+func TestQueuedFillVisibleWhenSwapBufferFull(t *testing.T) {
+	// Regression for the queued-fill visibility bug: fillSTT parks fill data
+	// in the swap buffer, but when the buffer is full the block exists only
+	// as a tag-queue entry. The lookup path must snoop the queue, or a read
+	// to the queued block misses again and allocates a duplicate MSHR entry
+	// plus a second off-chip fetch for a block the cache already owns.
+	h := newHybridKind(config.DyFUSE) // untrained predictor -> fills go to STT-MRAM
+	now := int64(0)
+	swapCap := h.Swap().Capacity()
+	// Queue swapCap+1 fills without ever Ticking: the first swapCap park
+	// their data in the swap buffer, the last one fits only in the queue.
+	blocks := swapCap + 1
+	for i := 0; i < blocks; i++ {
+		res := h.Access(readReq(100+i, 0x40, 0), now)
+		if res.Outcome != OutcomeMiss {
+			t.Fatalf("block %d: expected miss, got %v", i, res.Outcome)
+		}
+		fillAll(h, now+1)
+		now += 2
+	}
+	if !h.Swap().Full() {
+		t.Fatalf("swap buffer should be full (%d/%d)", h.Swap().Occupancy(), swapCap)
+	}
+	last := 100 + blocks - 1
+	lastBlock := mem.BlockAlign(uint64(last) * mem.BlockSize)
+	if h.Swap().Lookup(lastBlock) {
+		t.Fatalf("last fill should not fit the swap buffer")
+	}
+	if !h.Queue().Contains(lastBlock) {
+		t.Fatalf("last fill should be pending in the tag queue")
+	}
+
+	// The follow-up read must hit at SRAM-side latency with no new outgoing
+	// request and no new MSHR allocation.
+	outBefore := h.Stats().OutgoingRequests
+	res := h.Access(readReq(last, 0x40, 0), now)
+	if res.Outcome != OutcomeHit {
+		t.Fatalf("read of a queued-but-unwritten fill should hit, got %v", res.Outcome)
+	}
+	if res.Bank != cache.DestSRAM {
+		t.Errorf("queued-fill hit should be served at SRAM-side latency, got bank %v", res.Bank)
+	}
+	if got := h.Stats().OutgoingRequests; got != outBefore {
+		t.Errorf("queued-fill hit must not fetch again: outgoing %d -> %d", outBefore, got)
+	}
+	if h.Stats().QueueHits == 0 {
+		t.Errorf("tag-queue hits should be counted")
+	}
+	if _, ok := h.PopOutgoing(); ok {
+		t.Errorf("no outgoing request should have been generated")
+	}
+}
+
+func TestQueuedFillWriteMigratesToSRAM(t *testing.T) {
+	// A write to a queued-but-unwritten fill must pull the block into SRAM
+	// (dropping the queued operation) instead of missing or chasing the
+	// fill into the STT-MRAM bank.
+	h := newHybridKind(config.DyFUSE)
+	now := int64(0)
+	blocks := h.Swap().Capacity() + 1
+	for i := 0; i < blocks; i++ {
+		h.Access(readReq(100+i, 0x40, 0), now)
+		fillAll(h, now+1)
+		now += 2
+	}
+	last := 100 + blocks - 1
+	lastBlock := mem.BlockAlign(uint64(last) * mem.BlockSize)
+	if !h.Queue().Contains(lastBlock) || h.Swap().Lookup(lastBlock) {
+		t.Fatalf("setup: block must be queue-only")
+	}
+	res := h.Access(writeReq(last, 0x44, 0), now)
+	if res.Outcome != OutcomeHit || res.Bank != cache.DestSRAM {
+		t.Fatalf("write to a queued fill should hit in SRAM, got %+v", res)
+	}
+	if h.Queue().Contains(lastBlock) {
+		t.Errorf("the queued operation should have been dropped")
+	}
+	if !h.sram.Probe(lastBlock) {
+		t.Errorf("block should now reside in SRAM")
+	}
+}
+
+func TestBlockedCyclesChargedExactlyOnce(t *testing.T) {
+	// Invariant: N warps retrying over a k-cycle blocking window charge
+	// exactly k stall cycles, not N*k (the pre-fix rejection path bumped the
+	// counter once per rejected request).
+	h := newHybridKind(config.Hybrid)
+	now := int64(100)
+	const k = 10
+	h.blockedUntil = now + k
+
+	for cycle := int64(0); cycle < k; cycle++ {
+		for warp := 0; warp < 4; warp++ {
+			res := h.Access(readReq(1+warp, 0x40, warp), now+cycle)
+			if res.Outcome != OutcomeStall {
+				t.Fatalf("cycle %d warp %d: expected stall, got %v", cycle, warp, res.Outcome)
+			}
+		}
+	}
+	if got := h.Stats().STTWriteStallCycles; got != k {
+		t.Errorf("k-cycle block with 4 retrying warps charged %d stall cycles, want %d", got, k)
+	}
+	// Once the window expires, a fresh blocking window is charged again.
+	now += k
+	h.blockedUntil = now + 5
+	if res := h.Access(readReq(9, 0x40, 0), now); res.Outcome != OutcomeStall {
+		t.Fatalf("expected stall in the second window")
+	}
+	if got := h.Stats().STTWriteStallCycles; got != k+5 {
+		t.Errorf("second window should charge its own cycles once: got %d, want %d", got, k+5)
+	}
+}
+
+func TestHybridWriteHitChargesWindowOnce(t *testing.T) {
+	// End-to-end flavour of the single-counting invariant: a blocking STT
+	// write hit charges its window up front; the warps that retry while it
+	// is in flight add nothing.
+	cfg := config.NewL1DConfig(config.Hybrid)
+	cfg.SRAMKB = 1
+	cfg.SRAMSets = 4
+	cfg.SRAMWays = 2
+	h := MustNew(cfg).(*HybridL1D)
+	now := int64(0)
+	// Land block 0 in the STT-MRAM bank via a blocking migration: fill three
+	// blocks that share SRAM set 0 so the first one is evicted and migrates.
+	for i := 0; i < 3; i++ {
+		if res := h.Access(readReq(4*i, 0x40, 0), now); res.Outcome == OutcomeMiss {
+			fillAll(h, now+1)
+		}
+		now += 20 // past any blocking window
+	}
+	if !h.stt.Probe(0) {
+		t.Fatalf("setup: block 0 should have migrated to the STT-MRAM bank")
+	}
+	now += 20
+	before := h.Stats().STTWriteStallCycles
+	res := h.Access(writeReq(0, 0x44, 0), now)
+	if res.Outcome != OutcomeHit || res.Bank != cache.DestSTTMRAM {
+		t.Fatalf("expected a blocking STT write hit, got %+v", res)
+	}
+	window := h.blockedUntil - now - 1 // the writing warp's own cycle is not a stall
+	charged := h.Stats().STTWriteStallCycles - before
+	if charged != uint64(window) {
+		t.Fatalf("write hit should pre-charge its window: charged %d, want %d", charged, window)
+	}
+	// Retries inside the window change nothing.
+	for cycle := now + 1; cycle < h.blockedUntil; cycle++ {
+		for warp := 0; warp < 3; warp++ {
+			if res := h.Access(readReq(50+warp, 0x40, warp), cycle); res.Outcome != OutcomeStall {
+				t.Fatalf("expected stall during the write window, got %v", res.Outcome)
+			}
+		}
+	}
+	if got := h.Stats().STTWriteStallCycles - before; got != uint64(window) {
+		t.Errorf("retries multi-counted the window: charged %d, want %d", got, window)
+	}
+}
+
+func TestSTTWriteHitLatencyIncludesBusyWindow(t *testing.T) {
+	// Regression for the non-blocking write leg reading the migrating block
+	// out of the STT-MRAM array without honouring the bank's busy window:
+	// the reported latency must serialise behind the in-flight write and
+	// include the STT read itself.
+	h := newHybridKind(config.DyFUSE)
+	now := int64(0)
+	// Land a block in the STT-MRAM array.
+	h.Access(readReq(7, 0x40, 0), now)
+	fillAll(h, now+1)
+	for i := 0; i < 50; i++ {
+		h.Tick(now + int64(i) + 2)
+	}
+	if !h.stt.Probe(mem.BlockAlign(7 * mem.BlockSize)) {
+		t.Fatalf("setup: block should reside in the STT-MRAM bank")
+	}
+	// Occupy the STT-MRAM bank with a write, then write-hit the block one
+	// cycle into the window.
+	start := int64(200)
+	busyUntil := h.sttBank.Access(start, true)
+	res := h.Access(writeReq(7, 0x44, 0), start+1)
+	if res.Outcome != OutcomeHit || res.Bank != cache.DestSRAM {
+		t.Fatalf("expected a migrating write hit, got %+v", res)
+	}
+	sttRead := h.cfg.STTTech.ReadLatency
+	sramWrite := h.cfg.SRAMTech.WriteLatency
+	want := int(busyUntil-(start+1)) + sttRead + sramWrite
+	if res.Latency < want {
+		t.Errorf("latency %d ignores the bank's busy window, want >= %d", res.Latency, want)
+	}
+}
+
 func TestTagQueueTickRetiresMigrations(t *testing.T) {
 	cfg := config.NewL1DConfig(config.BaseFUSE)
 	cfg.SRAMKB = 1

@@ -88,10 +88,14 @@ type Stats struct {
 	Reads    uint64
 	Writes   uint64
 
-	Hits       uint64
-	SRAMHits   uint64
-	STTHits    uint64
-	SwapHits   uint64
+	Hits     uint64
+	SRAMHits uint64
+	STTHits  uint64
+	SwapHits uint64
+	// QueueHits counts lookups served by the tag-queue snoop: the block's
+	// fill or migration is queued but not yet written into the STT-MRAM
+	// array, so the cache already owns it.
+	QueueHits  uint64
 	Misses     uint64
 	MergedMiss uint64
 	Bypasses   uint64

@@ -22,6 +22,7 @@ import (
 
 	"fuse/internal/config"
 	"fuse/internal/sim"
+	"fuse/internal/store"
 	"fuse/internal/trace"
 )
 
@@ -64,6 +65,35 @@ func (j Job) String() string {
 	}
 	return name + "/" + j.Workload
 }
+
+// GPUConfig returns the job's effective GPU configuration: the explicit
+// override, or the Fermi-class GPU built from the job's L1D kind.
+func (j Job) GPUConfig() config.GPUConfig {
+	if j.GPU != nil {
+		return *j.GPU
+	}
+	return config.FermiGPU(config.NewL1DConfig(j.Kind))
+}
+
+// StoreKey returns the job's content-addressed result-store key: the stable
+// hash of its effective GPU configuration, workload profile and simulation
+// options (see store.Key). Unlike Key, which identifies a job within one
+// Runner, the store key identifies the simulation across processes.
+func StoreKey(job Job) (string, error) {
+	prof, ok := trace.ProfileByName(job.Workload)
+	if !ok {
+		return "", fmt.Errorf("engine: unknown workload %q", job.Workload)
+	}
+	return store.Key(job.GPUConfig(), prof, job.Opts)
+}
+
+// Cache is the pluggable second-tier result cache of a Runner: it is
+// consulted (by store key) before a job is executed and written through after
+// a successful execution. It is store.Cache by another name (an alias, so the
+// two can never drift apart): store.Memory, store.Disk and store.Tiered all
+// satisfy it, and a nil cache disables the tier. Implementations must be safe
+// for concurrent use.
+type Cache = store.Cache
 
 // Execute runs one job to completion. It is the default executor of a Runner
 // and the single place where the engine touches the simulator. The context
@@ -108,6 +138,11 @@ type Config struct {
 	// completes. Calls are serialised per batch; the callback must not
 	// block for long.
 	Progress func(Progress)
+	// Cache, when non-nil, is the second-tier result cache (typically a
+	// store.Tiered composing a memory tier over a persistent disk store):
+	// jobs whose store key hits the cache skip execution entirely, and
+	// freshly executed results are written through.
+	Cache Cache
 }
 
 // JobError pairs a failed job with its error.
@@ -157,11 +192,14 @@ type Runner struct {
 	workers  int
 	exec     func(context.Context, Job) (sim.Result, error)
 	progress func(Progress)
+	cache    Cache
 	sem      chan struct{}
 
 	mu        sync.Mutex
 	calls     map[Key]*call
 	completed int
+	executed  int
+	storeHits int
 }
 
 // New creates a Runner. A zero Config is valid: GOMAXPROCS workers, the real
@@ -179,6 +217,7 @@ func New(cfg Config) *Runner {
 		workers:  workers,
 		exec:     exec,
 		progress: cfg.Progress,
+		cache:    cfg.Cache,
 		sem:      make(chan struct{}, workers),
 		calls:    make(map[Key]*call),
 	}
@@ -192,6 +231,23 @@ func (r *Runner) Completed() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.completed
+}
+
+// Executed returns the number of simulations this Runner actually ran to a
+// successful completion — jobs served from the second-tier cache or from the
+// in-process dedup map are not counted.
+func (r *Runner) Executed() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.executed
+}
+
+// StoreHits returns the number of jobs served from the second-tier cache
+// instead of being executed.
+func (r *Runner) StoreHits() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.storeHits
 }
 
 // Keys returns the cached job keys in a stable order (for inspection).
@@ -265,8 +321,24 @@ func (r *Runner) notify(p *progressState, job Job, err error) {
 	r.progress(Progress{Done: p.done, Total: p.total, Job: job, Err: err})
 }
 
-// run executes one call on the worker pool.
+// run executes one call: first past the second-tier result cache (a hit
+// skips the worker pool entirely), then on the pool itself, writing fresh
+// results back through the cache.
 func (r *Runner) run(ctx context.Context, k Key, c *call, job Job, p *progressState) {
+	storeKey := ""
+	if r.cache != nil {
+		if key, err := StoreKey(job); err == nil {
+			storeKey = key
+			if res, ok := r.cache.Get(key); ok {
+				r.mu.Lock()
+				r.storeHits++
+				r.mu.Unlock()
+				r.notify(p, job, nil)
+				r.finish(k, c, res, nil)
+				return
+			}
+		}
+	}
 	select {
 	case r.sem <- struct{}{}:
 	case <-ctx.Done():
@@ -276,6 +348,14 @@ func (r *Runner) run(ctx context.Context, k Key, c *call, job Job, p *progressSt
 	}
 	defer func() { <-r.sem }()
 	res, err := r.exec(ctx, job)
+	if err == nil {
+		r.mu.Lock()
+		r.executed++
+		r.mu.Unlock()
+		if r.cache != nil && storeKey != "" {
+			r.cache.Put(storeKey, res)
+		}
+	}
 	r.notify(p, job, err)
 	r.finish(k, c, res, err)
 }

@@ -330,3 +330,133 @@ func TestJobString(t *testing.T) {
 		t.Errorf("labelled Job.String() = %q", j.String())
 	}
 }
+
+// recordingCache is a Cache that counts gets/puts and stores in a map.
+type recordingCache struct {
+	mu   sync.Mutex
+	m    map[string]sim.Result
+	gets int
+	puts int
+}
+
+func newRecordingCache() *recordingCache {
+	return &recordingCache{m: make(map[string]sim.Result)}
+}
+
+func (c *recordingCache) Get(key string) (sim.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gets++
+	res, ok := c.m[key]
+	return res, ok
+}
+
+func (c *recordingCache) Put(key string, res sim.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.puts++
+	c.m[key] = res
+}
+
+func TestStoreKeyStableAndDiscriminating(t *testing.T) {
+	job := Job{Kind: config.DyFUSE, Workload: "ATAX", Opts: quickOpts()}
+	k1, err := StoreKey(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := StoreKey(Job{Kind: config.DyFUSE, Workload: "ATAX", Opts: quickOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Errorf("identical jobs should share a store key")
+	}
+	k3, err := StoreKey(Job{Kind: config.L1SRAM, Workload: "ATAX", Opts: quickOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k3 == k1 {
+		t.Errorf("different kinds should produce different store keys")
+	}
+	// A custom-GPU job keys on the configuration itself, not the label.
+	gpu := config.FermiGPU(config.NewL1DConfig(config.DyFUSE))
+	k4, err := StoreKey(Job{Label: "custom", GPU: &gpu, Workload: "ATAX", Opts: quickOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k4 != k1 {
+		t.Errorf("a custom job with the Fermi Dy-FUSE config is the same simulation: %s vs %s", k4, k1)
+	}
+	if _, err := StoreKey(Job{Kind: config.DyFUSE, Workload: "nope"}); err == nil {
+		t.Errorf("unknown workload should fail")
+	}
+}
+
+func TestRunnerServesFromSecondTierCache(t *testing.T) {
+	cache := newRecordingCache()
+	jobs := []Job{
+		{Kind: config.L1SRAM, Workload: "ATAX", Opts: quickOpts()},
+		{Kind: config.DyFUSE, Workload: "ATAX", Opts: quickOpts()},
+	}
+
+	var total1 atomic.Int64
+	var calls sync.Map
+	r1 := New(Config{Workers: 2, Cache: cache, Exec: countingExec(&calls, &total1)})
+	res1, err := r1.RunBatch(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r1.Executed(); got != 2 {
+		t.Errorf("cold runner executed %d, want 2", got)
+	}
+	if got := r1.StoreHits(); got != 0 {
+		t.Errorf("cold runner had %d store hits, want 0", got)
+	}
+	if cache.puts != 2 {
+		t.Errorf("results should be written through: puts = %d", cache.puts)
+	}
+
+	// A fresh Runner sharing the cache executes nothing.
+	var total2 atomic.Int64
+	r2 := New(Config{Workers: 2, Cache: cache, Exec: countingExec(&calls, &total2)})
+	res2, err := r2.RunBatch(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total2.Load() != 0 {
+		t.Errorf("warm runner executed %d simulations, want 0", total2.Load())
+	}
+	if got := r2.StoreHits(); got != 2 {
+		t.Errorf("warm runner store hits = %d, want 2", got)
+	}
+	if got := r2.Executed(); got != 0 {
+		t.Errorf("warm runner Executed() = %d, want 0", got)
+	}
+	for i := range res1 {
+		if res1[i] != res2[i] {
+			t.Errorf("job %d: warm result differs from cold", i)
+		}
+	}
+	// Cache-served results still land in the Runner's first-tier dedup map.
+	if r2.Completed() != 2 {
+		t.Errorf("Completed = %d, want 2", r2.Completed())
+	}
+}
+
+func TestFailedJobsAreNotCached(t *testing.T) {
+	cache := newRecordingCache()
+	boom := errors.New("boom")
+	r := New(Config{Workers: 1, Cache: cache, Exec: func(context.Context, Job) (sim.Result, error) {
+		return sim.Result{}, boom
+	}})
+	_, err := r.RunBatch(context.Background(), []Job{{Kind: config.L1SRAM, Workload: "ATAX", Opts: quickOpts()}})
+	if err == nil {
+		t.Fatal("expected batch error")
+	}
+	if cache.puts != 0 {
+		t.Errorf("failed jobs must not be written to the cache: puts = %d", cache.puts)
+	}
+	if r.Executed() != 0 {
+		t.Errorf("failed executions should not count: Executed = %d", r.Executed())
+	}
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"fuse/internal/engine"
+	"fuse/internal/sim"
+	"fuse/internal/store"
+)
+
+// storeBackedMatrix builds a Matrix whose engine composes a fresh memory tier
+// over the given disk store and counts real simulator executions.
+func storeBackedMatrix(t *testing.T, dir string, execs *atomic.Int32) *Matrix {
+	t.Helper()
+	disk, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := engine.New(engine.Config{
+		Cache: store.NewTiered(store.NewMemory(), disk),
+		Exec: func(ctx context.Context, job engine.Job) (sim.Result, error) {
+			execs.Add(1)
+			return engine.Execute(ctx, job)
+		},
+	})
+	return NewMatrixRunner(QuickScale, r)
+}
+
+func TestFigureWarmFromStoreRunsZeroSimulations(t *testing.T) {
+	// End-to-end warm-store reproduction: running a figure twice against one
+	// store directory must simulate everything exactly once, and the second
+	// (warm) run must render a byte-identical table from pure store reads.
+	dir := t.TempDir()
+
+	var cold atomic.Int32
+	m1 := storeBackedMatrix(t, dir, &cold)
+	t1, err := Run(m1, ExpFig13, smallWorkloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Load() == 0 {
+		t.Fatalf("cold run should simulate")
+	}
+
+	var warm atomic.Int32
+	m2 := storeBackedMatrix(t, dir, &warm)
+	t2, err := Run(m2, ExpFig13, smallWorkloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := warm.Load(); got != 0 {
+		t.Errorf("warm run executed %d simulations, want 0", got)
+	}
+	if got := m2.Runner().StoreHits(); int32(got) != cold.Load() {
+		t.Errorf("warm run store hits = %d, want %d", got, cold.Load())
+	}
+	if t1.String() != t2.String() {
+		t.Errorf("warm table differs from cold table:\n--- cold ---\n%s\n--- warm ---\n%s", t1, t2)
+	}
+
+	// A second figure sharing the same runs (fig14 reads the fig13 matrix)
+	// is warm too.
+	var shared atomic.Int32
+	m3 := storeBackedMatrix(t, dir, &shared)
+	if _, err := Run(m3, ExpFig14, smallWorkloads); err != nil {
+		t.Fatal(err)
+	}
+	if got := shared.Load(); got != 0 {
+		t.Errorf("fig14 against the warm store executed %d simulations, want 0", got)
+	}
+}

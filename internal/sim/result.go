@@ -92,6 +92,7 @@ func (s *Simulator) collect() Result {
 		r.L1D.SRAMHits += ls.SRAMHits
 		r.L1D.STTHits += ls.STTHits
 		r.L1D.SwapHits += ls.SwapHits
+		r.L1D.QueueHits += ls.QueueHits
 		r.L1D.Misses += ls.Misses
 		r.L1D.MergedMiss += ls.MergedMiss
 		r.L1D.Bypasses += ls.Bypasses

@@ -38,8 +38,11 @@ type Options struct {
 	RequestBytes int
 }
 
-// withDefaults fills in default values.
-func (o Options) withDefaults() Options {
+// WithDefaults returns the options with every unset field replaced by its
+// default. The simulator applies it on construction; the result store uses it
+// to canonicalise cache keys, so a zero Options and an explicitly defaulted
+// one address the same stored result.
+func (o Options) WithDefaults() Options {
 	if o.InstructionsPerWarp == 0 {
 		o.InstructionsPerWarp = 1000
 	}
@@ -116,7 +119,7 @@ func New(gpuCfg config.GPUConfig, profile trace.Profile, opts Options) (*Simulat
 	if err := profile.Validate(); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
-	opts = opts.withDefaults()
+	opts = opts.WithDefaults()
 	s := &Simulator{gpuCfg: gpuCfg, profile: profile, opts: opts}
 
 	smCount := gpuCfg.SMs

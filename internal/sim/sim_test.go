@@ -281,7 +281,7 @@ func TestProfileByNameMirrorsTrace(t *testing.T) {
 }
 
 func TestDefaultsApplied(t *testing.T) {
-	o := Options{}.withDefaults()
+	o := Options{}.WithDefaults()
 	if o.InstructionsPerWarp == 0 || o.MaxCycles == 0 || o.Seed == 0 || o.RequestBytes == 0 {
 		t.Errorf("defaults should be filled in: %+v", o)
 	}

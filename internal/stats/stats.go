@@ -4,6 +4,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -26,6 +27,13 @@ func (c *Counter) Value() uint64 { return c.n }
 
 // Reset sets the counter back to zero.
 func (c *Counter) Reset() { c.n = 0 }
+
+// MarshalJSON implements json.Marshaler: a counter serialises as its bare
+// value, so results carrying counters survive the store's JSON round-trip.
+func (c Counter) MarshalJSON() ([]byte, error) { return json.Marshal(c.n) }
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (c *Counter) UnmarshalJSON(b []byte) error { return json.Unmarshal(b, &c.n) }
 
 // Ratio returns c / other as a float, or 0 if other is zero.
 func (c *Counter) Ratio(other *Counter) float64 {

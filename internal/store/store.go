@@ -1,0 +1,306 @@
+// Package store persists simulation results in a content-addressed on-disk
+// store so that an identical (GPU configuration, workload profile, simulation
+// options) point is computed once, ever — across processes, figures, CLI runs
+// and the fuseserve front door.
+//
+// Key scheme: the SHA-256 hex digest of the canonical JSON encoding of the
+// key material — a schema version plus config.GPUConfig, trace.Profile and
+// sim.Options (defaults applied). Canonical means object keys are sorted and
+// numbers are preserved verbatim, so the key does not depend on the order in
+// which fields were encoded.
+//
+// Disk layout: one versioned JSON envelope per result at
+// <dir>/<key[:2]>/<key>.json, written atomically (temp file + rename).
+// Corrupt, truncated or wrong-schema entries are treated as cache misses,
+// never as errors.
+//
+// The Cache interface composes: Memory is the in-process tier, Disk the
+// persistent one, and Tiered layers memory over disk with read-through
+// backfill. The engine consults a Cache before executing a job and writes
+// results through after execution.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"fuse/internal/config"
+	"fuse/internal/sim"
+	"fuse/internal/trace"
+)
+
+// SchemaVersion versions both the key material and the result envelope. Bump
+// it whenever the encoding of either changes incompatibly: old entries then
+// read as misses and are recomputed, never misdecoded.
+const SchemaVersion = 1
+
+// keyMaterial is everything that determines a simulation's outcome.
+type keyMaterial struct {
+	Schema  int              `json:"schema"`
+	GPU     config.GPUConfig `json:"gpu"`
+	Profile trace.Profile    `json:"profile"`
+	Options sim.Options      `json:"options"`
+}
+
+// Key returns the content-addressed store key of a simulation point: the
+// SHA-256 hex digest of the canonical JSON of the key material. Options are
+// canonicalised with their defaults applied first.
+func Key(gpu config.GPUConfig, prof trace.Profile, opts sim.Options) (string, error) {
+	raw, err := json.Marshal(keyMaterial{
+		Schema:  SchemaVersion,
+		GPU:     gpu,
+		Profile: prof,
+		Options: opts.WithDefaults(),
+	})
+	if err != nil {
+		return "", fmt.Errorf("store: encoding key material: %w", err)
+	}
+	canon, err := canonicalJSON(raw)
+	if err != nil {
+		return "", fmt.Errorf("store: canonicalising key material: %w", err)
+	}
+	sum := sha256.Sum256(canon)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// canonicalJSON re-encodes a JSON document with sorted object keys and
+// verbatim numbers, so that two encodings of the same value — differing only
+// in field order — produce identical bytes.
+func canonicalJSON(raw []byte) ([]byte, error) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber() // keep numbers textual: a uint64 must not detour through float64
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		return nil, err
+	}
+	return json.Marshal(v) // maps marshal with sorted keys
+}
+
+// ValidKey reports whether the string has the shape of a store key (64
+// lowercase hex digits). Serving layers use it to reject malformed keys
+// before they reach the filesystem.
+func ValidKey(key string) bool {
+	if len(key) != sha256.Size*2 {
+		return false
+	}
+	for _, c := range key {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// envelope is the versioned on-disk encoding of one result.
+type envelope struct {
+	Schema int        `json:"schema"`
+	Result sim.Result `json:"result"`
+}
+
+// Encode serialises a result as a versioned JSON envelope. The encoding is
+// deterministic: encoding the decoded value again yields identical bytes.
+func Encode(res sim.Result) ([]byte, error) {
+	b, err := json.Marshal(envelope{Schema: SchemaVersion, Result: res})
+	if err != nil {
+		return nil, fmt.Errorf("store: encoding result: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// Decode parses a versioned envelope. Any defect — malformed JSON, a
+// truncated document, a schema mismatch — is an error; callers on the cache
+// path translate errors into misses.
+func Decode(data []byte) (sim.Result, error) {
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return sim.Result{}, fmt.Errorf("store: decoding result: %w", err)
+	}
+	if env.Schema != SchemaVersion {
+		return sim.Result{}, fmt.Errorf("store: schema %d, want %d", env.Schema, SchemaVersion)
+	}
+	return env.Result, nil
+}
+
+// Cache is a result cache tier: Get reports a hit or a miss (never an
+// error — a broken tier behaves as empty), Put stores best-effort.
+type Cache interface {
+	Get(key string) (sim.Result, bool)
+	Put(key string, res sim.Result)
+}
+
+// Memory is the in-process cache tier: a mutex-guarded map.
+type Memory struct {
+	mu sync.RWMutex
+	m  map[string]sim.Result
+}
+
+// NewMemory creates an empty in-memory tier.
+func NewMemory() *Memory {
+	return &Memory{m: make(map[string]sim.Result)}
+}
+
+// Get implements Cache.
+func (c *Memory) Get(key string) (sim.Result, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	res, ok := c.m[key]
+	return res, ok
+}
+
+// Put implements Cache.
+func (c *Memory) Put(key string, res sim.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = res
+}
+
+// Len returns the number of cached results.
+func (c *Memory) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// Disk is the persistent, content-addressed cache tier.
+type Disk struct {
+	dir string
+}
+
+// Open creates (if necessary) and opens a disk store rooted at dir.
+func Open(dir string) (*Disk, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Disk{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (d *Disk) Dir() string { return d.dir }
+
+// path maps a key to its entry file: a two-character fan-out directory keeps
+// any single directory small even for very large stores.
+func (d *Disk) path(key string) string {
+	return filepath.Join(d.dir, key[:2], key+".json")
+}
+
+// Get implements Cache. Unreadable or corrupt entries are misses.
+func (d *Disk) Get(key string) (sim.Result, bool) {
+	if !ValidKey(key) {
+		return sim.Result{}, false
+	}
+	data, err := os.ReadFile(d.path(key))
+	if err != nil {
+		return sim.Result{}, false
+	}
+	res, err := Decode(data)
+	if err != nil {
+		return sim.Result{}, false
+	}
+	return res, true
+}
+
+// Put implements Cache, swallowing write errors (a read-only or full store
+// degrades to a pass-through cache, it does not fail the simulation).
+func (d *Disk) Put(key string, res sim.Result) { _ = d.Write(key, res) }
+
+// Write stores one result, reporting errors. The entry is written to a
+// temporary file in the destination directory and renamed into place, so
+// concurrent writers and crashed processes can never leave a torn entry
+// behind — only a complete one or none.
+func (d *Disk) Write(key string, res sim.Result) error {
+	if !ValidKey(key) {
+		return fmt.Errorf("store: invalid key %q", key)
+	}
+	data, err := Encode(res)
+	if err != nil {
+		return err
+	}
+	path := d.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Len walks the store and returns the number of valid-looking entries.
+func (d *Disk) Len() int {
+	n := 0
+	_ = filepath.WalkDir(d.dir, func(path string, entry os.DirEntry, err error) error {
+		if err != nil || entry.IsDir() {
+			return nil
+		}
+		if filepath.Ext(path) == ".json" {
+			n++
+		}
+		return nil
+	})
+	return n
+}
+
+// OpenTiered opens (creating if necessary) a disk store at dir and composes
+// a fresh memory tier over it — the standard wiring of every CLI tool and
+// server that takes a -store flag.
+func OpenTiered(dir string) (*Tiered, error) {
+	disk, err := Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return NewTiered(NewMemory(), disk), nil
+}
+
+// Tiered layers cache tiers fastest-first: Get probes in order and backfills
+// every faster tier on a hit; Put writes through to all tiers.
+type Tiered struct {
+	tiers []Cache
+}
+
+// NewTiered composes tiers, fastest first (e.g. NewTiered(mem, disk)).
+func NewTiered(tiers ...Cache) *Tiered {
+	return &Tiered{tiers: tiers}
+}
+
+// Get implements Cache.
+func (t *Tiered) Get(key string) (sim.Result, bool) {
+	for i, c := range t.tiers {
+		if res, ok := c.Get(key); ok {
+			for j := 0; j < i; j++ {
+				t.tiers[j].Put(key, res)
+			}
+			return res, true
+		}
+	}
+	return sim.Result{}, false
+}
+
+// Put implements Cache.
+func (t *Tiered) Put(key string, res sim.Result) {
+	for _, c := range t.tiers {
+		c.Put(key, res)
+	}
+}

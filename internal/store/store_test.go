@@ -1,0 +1,293 @@
+package store
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"fuse/internal/config"
+	"fuse/internal/core"
+	"fuse/internal/predictor"
+	"fuse/internal/sim"
+	"fuse/internal/trace"
+)
+
+// sampleResult builds a result with every field populated, including the
+// nested accuracy counters, so round-trip defects cannot hide in zero values.
+func sampleResult(rng *rand.Rand) sim.Result {
+	var acc predictor.AccuracyTracker
+	acc.True.Add(rng.Uint64() % 1e6)
+	acc.False.Add(rng.Uint64() % 1e6)
+	acc.Neutral.Add(rng.Uint64() % 1e6)
+	return sim.Result{
+		GPUName:      "Fermi-like",
+		L1DKind:      config.DyFUSE,
+		Workload:     "ATAX",
+		Cycles:       int64(rng.Uint64() >> 1),
+		Instructions: rng.Uint64(),
+		IPC:          rng.Float64() * 4,
+		L1D: core.Stats{
+			Accesses:            rng.Uint64(),
+			Reads:               rng.Uint64(),
+			Writes:              rng.Uint64(),
+			Hits:                rng.Uint64(),
+			QueueHits:           rng.Uint64(),
+			SwapHits:            rng.Uint64(),
+			STTWriteStallCycles: rng.Uint64(),
+			Accuracy:            acc,
+		},
+		L1DMissRate:     rng.Float64(),
+		OutgoingPerSM:   rng.Float64() * 100,
+		STTWriteStalls:  rng.Uint64(),
+		TagSearchStalls: rng.Uint64(),
+		PredTrue:        rng.Float64(),
+		PredNeutral:     rng.Float64(),
+		PredFalse:       rng.Float64(),
+		OffChipFraction: rng.Float64(),
+		NetworkFraction: rng.Float64(),
+		DRAMFraction:    rng.Float64(),
+		L2MissRate:      rng.Float64(),
+		L2Accesses:      rng.Uint64(),
+		DRAMAccesses:    rng.Uint64(),
+		NoCRequests:     rng.Uint64(),
+		NoCResponses:    rng.Uint64(),
+		AvgFillNoC:      rng.Float64() * 300,
+		AvgFillMemory:   rng.Float64() * 300,
+		SRAMReads:       rng.Uint64(),
+		SRAMWrites:      rng.Uint64(),
+		STTReads:        rng.Uint64(),
+		STTWrites:       rng.Uint64(),
+		SimulatedSMs:    15,
+	}
+}
+
+func TestEncodeDecodeRoundTripProperty(t *testing.T) {
+	// Property: encode -> decode -> re-encode is byte-identical and the
+	// decoded value equals the original, for arbitrary results — including
+	// extreme uint64 values beyond float64's integer range and subnormal
+	// floats.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		res := sampleResult(rng)
+		if i == 0 {
+			res.Instructions = math.MaxUint64
+			res.L1D.Accesses = 1<<53 + 1 // not representable as float64
+			res.IPC = math.SmallestNonzeroFloat64
+		}
+		enc, err := Encode(res)
+		if err != nil {
+			t.Fatalf("iteration %d: Encode: %v", i, err)
+		}
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("iteration %d: Decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(dec, res) {
+			t.Fatalf("iteration %d: decode mismatch:\n got %+v\nwant %+v", i, dec, res)
+		}
+		enc2, err := Encode(dec)
+		if err != nil {
+			t.Fatalf("iteration %d: re-Encode: %v", i, err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("iteration %d: re-encoding differs:\n%s\n%s", i, enc, enc2)
+		}
+	}
+}
+
+func TestKeyDeterministicAndSensitive(t *testing.T) {
+	gpu := config.FermiGPU(config.NewL1DConfig(config.DyFUSE))
+	prof, _ := trace.ProfileByName("ATAX")
+	opts := sim.Options{InstructionsPerWarp: 200, SMOverride: 2, Seed: 42}
+
+	k1, err := Key(gpu, prof, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ValidKey(k1) {
+		t.Fatalf("key %q is not 64 lowercase hex digits", k1)
+	}
+	k2, _ := Key(gpu, prof, opts)
+	if k1 != k2 {
+		t.Errorf("key not deterministic: %s vs %s", k1, k2)
+	}
+	// Defaults applied: a zero field and its explicit default are the same
+	// simulation and must share a key.
+	kDefaulted, _ := Key(gpu, prof, sim.Options{InstructionsPerWarp: 200, SMOverride: 2, Seed: 42, MaxCycles: 4_000_000, RequestBytes: 32})
+	if kDefaulted != k1 {
+		t.Errorf("explicitly defaulted options should hash identically")
+	}
+	// Any material change must change the key.
+	kSeed, _ := Key(gpu, prof, sim.Options{InstructionsPerWarp: 200, SMOverride: 2, Seed: 43})
+	if kSeed == k1 {
+		t.Errorf("seed change should change the key")
+	}
+	prof2, _ := trace.ProfileByName("GEMM")
+	kProf, _ := Key(gpu, prof2, opts)
+	if kProf == k1 {
+		t.Errorf("profile change should change the key")
+	}
+	gpu2 := config.FermiGPU(config.NewL1DConfig(config.L1SRAM))
+	kGPU, _ := Key(gpu2, prof, opts)
+	if kGPU == k1 {
+		t.Errorf("GPU configuration change should change the key")
+	}
+}
+
+func TestCanonicalJSONStableAcrossFieldOrdering(t *testing.T) {
+	a := []byte(`{"b": 2, "a": {"y": 1e3, "x": 18446744073709551615}, "c": [1, 2.5]}`)
+	b := []byte(`{"c": [1, 2.5], "a": {"x": 18446744073709551615, "y": 1e3}, "b": 2}`)
+	ca, err := canonicalJSON(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := canonicalJSON(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ca, cb) {
+		t.Errorf("canonical forms differ:\n%s\n%s", ca, cb)
+	}
+	// Numbers must be preserved verbatim: a detour through float64 would
+	// round 2^64-1 and fold 1e3 to 1000.
+	if !strings.Contains(string(ca), "18446744073709551615") {
+		t.Errorf("uint64 value was not preserved verbatim: %s", ca)
+	}
+}
+
+func TestDecodeRejectsCorruptAndWrongSchema(t *testing.T) {
+	res := sampleResult(rand.New(rand.NewSource(2)))
+	enc, err := Encode(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":        {},
+		"garbage":      []byte("not json at all"),
+		"truncated":    enc[:len(enc)/2],
+		"wrong schema": []byte(`{"schema": 999, "result": {}}` + "\n"),
+	}
+	for name, data := range cases {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("%s: Decode should fail", name)
+		}
+	}
+}
+
+func TestDiskPutGetAndCorruptEntriesAreMisses(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sampleResult(rand.New(rand.NewSource(3)))
+	gpu := config.FermiGPU(config.NewL1DConfig(config.BaseFUSE))
+	prof, _ := trace.ProfileByName("GEMM")
+	key, err := Key(gpu, prof, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := d.Get(key); ok {
+		t.Fatalf("empty store should miss")
+	}
+	if err := d.Write(key, res); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := d.Get(key)
+	if !ok {
+		t.Fatalf("stored entry should hit")
+	}
+	if !reflect.DeepEqual(got, res) {
+		t.Fatalf("disk round-trip mismatch")
+	}
+	if d.Len() != 1 {
+		t.Errorf("Len = %d, want 1", d.Len())
+	}
+
+	// Corrupt the entry in place: the next Get must be a miss, not an error
+	// or a garbage result.
+	path := d.path(key)
+	if err := os.WriteFile(path, []byte(`{"schema":1,"result":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Get(key); ok {
+		t.Errorf("truncated entry should read as a miss")
+	}
+
+	// Malformed keys never touch the filesystem.
+	if _, ok := d.Get("../../etc/passwd"); ok {
+		t.Errorf("invalid key should miss")
+	}
+	if err := d.Write("short", res); err == nil {
+		t.Errorf("invalid key should not be writable")
+	}
+}
+
+func TestDiskWriteIsAtomicRename(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sampleResult(rand.New(rand.NewSource(4)))
+	key := strings.Repeat("ab", 32)
+	if err := d.Write(key, res); err != nil {
+		t.Fatal(err)
+	}
+	// No temp files left behind.
+	entries, err := os.ReadDir(filepath.Dir(d.path(key)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			t.Errorf("temp file %s left behind", e.Name())
+		}
+	}
+}
+
+func TestTieredBackfillsFasterTiers(t *testing.T) {
+	mem := NewMemory()
+	disk, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiered := NewTiered(mem, disk)
+	res := sampleResult(rand.New(rand.NewSource(5)))
+	key := strings.Repeat("cd", 32)
+
+	// Seed only the disk tier, as a previous process would have.
+	if err := disk.Write(key, res); err != nil {
+		t.Fatal(err)
+	}
+	if mem.Len() != 0 {
+		t.Fatalf("memory tier should start cold")
+	}
+	got, ok := tiered.Get(key)
+	if !ok || !reflect.DeepEqual(got, res) {
+		t.Fatalf("tiered read through disk failed")
+	}
+	if mem.Len() != 1 {
+		t.Errorf("hit should backfill the memory tier")
+	}
+	if _, ok := mem.Get(key); !ok {
+		t.Errorf("backfilled entry missing from memory")
+	}
+
+	// Put writes through to every tier.
+	key2 := strings.Repeat("ef", 32)
+	tiered.Put(key2, res)
+	if _, ok := mem.Get(key2); !ok {
+		t.Errorf("Put should reach the memory tier")
+	}
+	if _, ok := disk.Get(key2); !ok {
+		t.Errorf("Put should reach the disk tier")
+	}
+	if _, ok := tiered.Get(strings.Repeat("00", 32)); ok {
+		t.Errorf("unknown key should miss every tier")
+	}
+}
