@@ -10,6 +10,7 @@
 //	GET  /v1/result/{key}     fetch one stored result by content key
 //	GET  /v1/figures/{13..17} render an evaluation figure as a text table
 //	                          (optional ?workloads=ATAX,GEMM subset)
+//	GET  /v1/figures/backends render the memory-backend sweep
 //
 // Usage:
 //
@@ -27,6 +28,7 @@ import (
 	"os"
 	"time"
 
+	"fuse/internal/dram"
 	"fuse/internal/engine"
 	"fuse/internal/experiments"
 	"fuse/internal/store"
@@ -39,8 +41,16 @@ func main() {
 		storeDir  = flag.String("store", "", "persistent result-store directory shared with fusesim/fusetables (empty = memory only)")
 		parallel  = flag.Int("parallel", 0, "number of concurrent simulations (0 = GOMAXPROCS)")
 		timeout   = flag.Duration("timeout", 0, "per-request timeout (0 = no limit)")
+		backend   = flag.String("backend", "", "default memory backend for batch jobs and figures (GDDR5, GDDR5X, HBM2, STT-MRAM; empty = each GPU model's default)")
 	)
 	flag.Parse()
+
+	if *backend != "" {
+		if _, err := dram.BackendByName(*backend); err != nil {
+			fmt.Fprintf(os.Stderr, "fuseserve: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	var scale experiments.Scale
 	switch *scaleName {
@@ -70,7 +80,7 @@ func main() {
 	cache := store.NewTiered(tiers...)
 
 	runner := engine.New(engine.Config{Workers: *parallel, Cache: cache})
-	handler := newServer(scale, runner, cache, *timeout)
+	handler := newServer(scale, runner, cache, *timeout, *backend)
 
 	if *storeDir != "" {
 		log.Printf("fuseserve: store %s, scale %s, %d workers, listening on %s",

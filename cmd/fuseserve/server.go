@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"fuse/internal/config"
+	"fuse/internal/dram"
 	"fuse/internal/engine"
 	"fuse/internal/experiments"
 	"fuse/internal/sim"
@@ -34,16 +35,22 @@ type server struct {
 	runner  *engine.Runner
 	results store.Cache
 	timeout time.Duration
+	// backend is the server-wide default memory backend ("" = each GPU
+	// model's own); batch requests may override it per batch.
+	backend string
 }
 
 // newServer wires the API routes. results is the cache consulted by
 // GET /v1/result (usually the same tiered cache the Runner writes through).
-func newServer(scale experiments.Scale, runner *engine.Runner, results store.Cache, timeout time.Duration) http.Handler {
+func newServer(scale experiments.Scale, runner *engine.Runner, results store.Cache, timeout time.Duration, backend string) http.Handler {
+	matrix := experiments.NewMatrixRunner(scale, runner)
+	matrix.SetBackend(backend)
 	s := &server{
-		matrix:  experiments.NewMatrixRunner(scale, runner),
+		matrix:  matrix,
 		runner:  runner,
 		results: results,
 		timeout: timeout,
+		backend: backend,
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
@@ -73,6 +80,9 @@ type batchOptions struct {
 	InstructionsPerWarp uint64 `json:"instructionsPerWarp,omitempty"`
 	SMs                 int    `json:"sms,omitempty"`
 	Seed                uint64 `json:"seed,omitempty"`
+	// Backend overrides the memory backend (see dram.Backends) for every
+	// job of the batch; empty inherits the server's -backend default.
+	Backend string `json:"backend,omitempty"`
 }
 
 // batchRequest is the body of POST /v1/batch.
@@ -115,6 +125,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	opts := s.matrix.Scale().Options()
+	backend := s.backend
 	if o := req.Options; o != nil {
 		if o.InstructionsPerWarp > 0 {
 			opts.InstructionsPerWarp = o.InstructionsPerWarp
@@ -124,6 +135,13 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		if o.Seed > 0 {
 			opts.Seed = o.Seed
+		}
+		if o.Backend != "" {
+			if _, err := dram.BackendByName(o.Backend); err != nil {
+				httpError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+			backend = o.Backend
 		}
 	}
 
@@ -138,7 +156,11 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, "job %d: unknown workload %q", i, j.Workload)
 			return
 		}
-		jobs = append(jobs, engine.Job{Kind: kind, Workload: j.Workload, Opts: opts})
+		job := engine.Job{Kind: kind, Workload: j.Workload, Opts: opts}
+		if backend != "" {
+			job = engine.BackendJob(kind, j.Workload, backend, opts)
+		}
+		jobs = append(jobs, job)
 	}
 
 	ctx, cancel := s.requestContext(r)
@@ -205,20 +227,22 @@ func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
 
 // figureExperiments maps the servable figure numbers onto experiment names.
 // Figures 13-17 are the evaluation matrix the store is built to serve; they
-// share one six-kind job set, so any of them warms the others.
+// share one six-kind job set, so any of them warms the others. "backends" is
+// the repository's memory-technology sweep.
 var figureExperiments = map[string]string{
-	"13": experiments.ExpFig13,
-	"14": experiments.ExpFig14,
-	"15": experiments.ExpFig15,
-	"16": experiments.ExpFig16,
-	"17": experiments.ExpFig17,
+	"13":       experiments.ExpFig13,
+	"14":       experiments.ExpFig14,
+	"15":       experiments.ExpFig15,
+	"16":       experiments.ExpFig16,
+	"17":       experiments.ExpFig17,
+	"backends": experiments.ExpBackends,
 }
 
 func (s *server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	fig := r.PathValue("fig")
 	name, ok := figureExperiments[fig]
 	if !ok {
-		httpError(w, http.StatusNotFound, "figure %q not servable (want 13..17)", fig)
+		httpError(w, http.StatusNotFound, "figure %q not servable (want 13..17 or backends)", fig)
 		return
 	}
 	var workloads []string // nil = the experiment's full set

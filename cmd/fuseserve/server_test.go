@@ -34,7 +34,7 @@ func newTestServer(t *testing.T, dir string, execs *atomic.Int32) *httptest.Serv
 			return engine.Execute(ctx, job)
 		},
 	})
-	ts := httptest.NewServer(newServer(experiments.QuickScale, runner, cache, time.Minute))
+	ts := httptest.NewServer(newServer(experiments.QuickScale, runner, cache, time.Minute, ""))
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -271,11 +271,46 @@ func TestPerRequestTimeout(t *testing.T) {
 			return sim.Result{}, ctx.Err()
 		},
 	})
-	ts := httptest.NewServer(newServer(experiments.QuickScale, runner, cache, 50*time.Millisecond))
+	ts := httptest.NewServer(newServer(experiments.QuickScale, runner, cache, 50*time.Millisecond, ""))
 	defer ts.Close()
 
 	resp, _ := postBatch(t, ts, `{"jobs":[{"kind":"Dy-FUSE","workload":"ATAX"}]}`)
 	if resp.StatusCode != http.StatusGatewayTimeout {
 		t.Errorf("status = %d, want 504", resp.StatusCode)
+	}
+}
+
+func TestBatchBackendOption(t *testing.T) {
+	var execs atomic.Int32
+	ts := newTestServer(t, t.TempDir(), &execs)
+
+	resp, br := postBatch(t, ts, `{"jobs":[{"kind":"Dy-FUSE","workload":"ATAX"}],"options":{"backend":"STT-MRAM"}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if br.Results[0].Error != "" {
+		t.Fatalf("job failed: %s", br.Results[0].Error)
+	}
+	if got := br.Results[0].Result.MemBackend; got != "STT-MRAM" {
+		t.Errorf("MemBackend = %q, want STT-MRAM", got)
+	}
+	if !store.ValidKey(br.Results[0].Key) {
+		t.Errorf("backend-override job should still produce a store key")
+	}
+
+	// The same job on the default backend is a different simulation.
+	_, brDefault := postBatch(t, ts, `{"jobs":[{"kind":"Dy-FUSE","workload":"ATAX"}]}`)
+	if brDefault.Results[0].Key == br.Results[0].Key {
+		t.Errorf("backend must be part of the store key")
+	}
+
+	// An unknown backend is rejected before any simulation runs.
+	before := execs.Load()
+	respBad, _ := postBatch(t, ts, `{"jobs":[{"kind":"Dy-FUSE","workload":"ATAX"}],"options":{"backend":"PCM-9000"}}`)
+	if respBad.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown backend status = %d, want 400", respBad.StatusCode)
+	}
+	if execs.Load() != before {
+		t.Errorf("rejected batch must not simulate")
 	}
 }

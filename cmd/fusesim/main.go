@@ -12,6 +12,7 @@
 //	fusesim -config Dy-FUSE -workload ATAX
 //	fusesim -config L1-SRAM -workload GEMM -sms 4 -instructions 2000
 //	fusesim -config L1-SRAM,Dy-FUSE -workload ATAX,GEMM -parallel 4
+//	fusesim -config Dy-FUSE -workload ATAX -backend GDDR5,HBM2,STT-MRAM
 //	fusesim -list
 package main
 
@@ -23,6 +24,7 @@ import (
 	"strings"
 
 	"fuse/internal/config"
+	"fuse/internal/dram"
 	"fuse/internal/energy"
 	"fuse/internal/engine"
 	"fuse/internal/sim"
@@ -38,6 +40,7 @@ func main() {
 		sms          = flag.Int("sms", 0, "number of SMs to simulate (0 = full GPU)")
 		seed         = flag.Uint64("seed", 42, "workload generator seed")
 		volta        = flag.Bool("volta", false, "use the Volta-class GPU model (84 SMs, 6 MB L2, 128 KB L1)")
+		backendList  = flag.String("backend", "", "comma-separated memory backends (see -list; empty = the GPU model's default)")
 		list         = flag.Bool("list", false, "list available workloads and configurations, then exit")
 		showEnergy   = flag.Bool("energy", true, "print the energy breakdown")
 		parallel     = flag.Int("parallel", 0, "number of concurrent simulations (0 = GOMAXPROCS)")
@@ -50,6 +53,10 @@ func main() {
 		fmt.Println("L1D configurations:")
 		for _, k := range config.AllL1DKinds {
 			fmt.Printf("  %s\n", k)
+		}
+		fmt.Println("Memory backends:")
+		for _, b := range dram.Backends() {
+			fmt.Printf("  %s\n", b)
 		}
 		fmt.Println("Workloads:")
 		for _, p := range trace.Profiles() {
@@ -82,17 +89,38 @@ func main() {
 		Seed:                *seed,
 	}
 
-	// The cross product, Volta variants as labelled custom-GPU jobs.
+	backends := splitList(*backendList)
+	for _, be := range backends {
+		if _, err := dram.BackendByName(be); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if len(backends) == 0 {
+		backends = []string{""} // the GPU model's own backend
+	}
+
+	// The cross product; Volta variants and backend overrides become
+	// labelled custom-GPU jobs.
 	var jobs []engine.Job
 	for _, kind := range kinds {
 		for _, w := range workloads {
-			job := engine.Job{Kind: kind, Workload: w, Opts: opts}
-			if *volta {
-				cfg := config.VoltaGPU(config.ScaleL1D(config.NewL1DConfig(kind), 4))
-				job.Label = "volta-" + kind.String()
-				job.GPU = &cfg
+			for _, be := range backends {
+				job := engine.Job{Kind: kind, Workload: w, Opts: opts}
+				switch {
+				case *volta:
+					cfg := config.VoltaGPU(config.ScaleL1D(config.NewL1DConfig(kind), 4))
+					label := "volta-" + kind.String()
+					if be != "" {
+						cfg.MemBackend = be
+						label += "@" + be
+					}
+					job.Label = label
+					job.GPU = &cfg
+				case be != "":
+					job = engine.BackendJob(kind, w, be, opts)
+				}
+				jobs = append(jobs, job)
 			}
-			jobs = append(jobs, job)
 		}
 	}
 

@@ -30,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"fuse/internal/dram"
 	"fuse/internal/engine"
 	"fuse/internal/experiments"
 	"fuse/internal/store"
@@ -37,7 +38,7 @@ import (
 
 func main() {
 	var (
-		expName   = flag.String("exp", "all", "experiment to run (fig1...fig20, table1...table3, or 'all')")
+		expName   = flag.String("exp", "all", "experiment to run (fig1...fig20, table1...table3, 'backends', or 'all')")
 		scaleName = flag.String("scale", "bench", "simulation scale: quick, bench or full")
 		workloads = flag.String("workloads", "", "comma-separated workload subset (default: the experiment's own set)")
 		timing    = flag.Bool("time", false, "print wall-clock time per experiment")
@@ -45,8 +46,16 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
 		progress  = flag.Bool("progress", false, "print per-simulation progress to stderr")
 		storeDir  = flag.String("store", "", "persistent result-store directory shared with fusesim/fuseserve (empty = no store)")
+		backend   = flag.String("backend", "", "run every experiment on this memory backend (GDDR5, GDDR5X, HBM2, STT-MRAM; empty = each GPU model's default)")
 	)
 	flag.Parse()
+
+	if *backend != "" {
+		if _, err := dram.BackendByName(*backend); err != nil {
+			fmt.Fprintf(os.Stderr, "fusetables: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	var scale experiments.Scale
 	switch *scaleName {
@@ -102,6 +111,7 @@ func main() {
 	}
 	runner := engine.New(cfg)
 	matrix := experiments.NewMatrixRunner(scale, runner)
+	matrix.SetBackend(*backend)
 
 	// Pre-warm the whole selection in one batch: the engine deduplicates the
 	// jobs shared between experiments and fills the cache in parallel, so

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 
+	"fuse/internal/dram"
 	"fuse/internal/memtech"
 )
 
@@ -335,12 +336,22 @@ type GPUConfig struct {
 	L2Ways int
 	// L2LatencyCycles is the L2 bank access latency.
 	L2LatencyCycles int
-	// DRAMChannels is the number of GDDR5 channels.
+	// DRAMChannels is the number of off-chip memory channels.
 	DRAMChannels int
-	// DRAM timing parameters in DRAM-clock cycles.
+	// DRAMBanksPerChannel is the number of DRAM banks per channel.
+	DRAMBanksPerChannel int
+	// DRAMRowBytes is the row-buffer size per bank in bytes.
+	DRAMRowBytes int
+	// DRAM timing parameters in DRAM-clock cycles (honoured by the GDDR5
+	// baseline backend; other backends own their timing).
 	TCL, TRCD, TRAS, TRP int
+	// DRAMBurstCycles is the data transfer time of one 128-byte block.
+	DRAMBurstCycles int
 	// DRAMQueueDepth is the per-channel request queue depth.
 	DRAMQueueDepth int
+	// MemBackend selects the off-chip memory technology behind the
+	// controller (see dram.Backends); empty means the GDDR5 baseline.
+	MemBackend string
 	// NoCLatencyPerHop is the router traversal latency in cycles.
 	NoCLatencyPerHop int
 	// NoCFlitBytes is the link width in bytes per cycle.
@@ -360,7 +371,47 @@ func (g *GPUConfig) Validate() error {
 	if g.L2Banks%g.DRAMChannels != 0 {
 		return fmt.Errorf("config: %d L2 banks must divide evenly across %d DRAM channels", g.L2Banks, g.DRAMChannels)
 	}
+	if g.DRAMBanksPerChannel < 0 || g.DRAMRowBytes < 0 || g.DRAMBurstCycles < 0 || g.DRAMQueueDepth < 0 {
+		return errors.New("config: DRAM geometry must be non-negative")
+	}
+	if _, err := dram.BackendByName(g.MemBackend); err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
 	return g.L1D.Validate()
+}
+
+// WithMemDefaults returns a copy with the off-chip memory fields resolved
+// exactly as the memory controller would resolve them (backend name
+// normalised, zero geometry defaulted, timing taken from the backend). Two
+// configs describing the same controller then encode identically — the
+// result store canonicalises its keys with this, so e.g. MemBackend "" and
+// "GDDR5" address the same stored result. A config whose backend name is
+// invalid is returned unchanged (its key is unreachable anyway: Validate
+// rejects it before simulation).
+func (g GPUConfig) WithMemDefaults() GPUConfig {
+	resolved, err := dram.Config{
+		Channels:        g.DRAMChannels,
+		BanksPerChannel: g.DRAMBanksPerChannel,
+		RowBytes:        g.DRAMRowBytes,
+		TCL:             g.TCL,
+		TRCD:            g.TRCD,
+		TRP:             g.TRP,
+		TRAS:            g.TRAS,
+		BurstCycles:     g.DRAMBurstCycles,
+		QueueDepth:      g.DRAMQueueDepth,
+		Backend:         g.MemBackend,
+	}.Resolve()
+	if err != nil {
+		return g
+	}
+	g.DRAMChannels = resolved.Channels
+	g.DRAMBanksPerChannel = resolved.BanksPerChannel
+	g.DRAMRowBytes = resolved.RowBytes
+	g.TCL, g.TRCD, g.TRP, g.TRAS = resolved.TCL, resolved.TRCD, resolved.TRP, resolved.TRAS
+	g.DRAMBurstCycles = resolved.BurstCycles
+	g.DRAMQueueDepth = resolved.QueueDepth
+	g.MemBackend = resolved.Backend
+	return g
 }
 
 // FermiGPU returns the paper's baseline GPU model (Table I): 15 SMs, 48
@@ -368,25 +419,29 @@ func (g *GPUConfig) Validate() error {
 // 6 GDDR5 channels.
 func FermiGPU(l1d L1DConfig) GPUConfig {
 	return GPUConfig{
-		Name:             "Fermi-like",
-		SMs:              15,
-		WarpsPerSM:       48,
-		ThreadsPerWarp:   32,
-		CoreClockMHz:     1400,
-		L1D:              l1d,
-		L2Banks:          12,
-		L2KBTotal:        786,
-		L2Ways:           8,
-		L2LatencyCycles:  30,
-		DRAMChannels:     6,
-		TCL:              12,
-		TRCD:             12,
-		TRAS:             28,
-		TRP:              12,
-		DRAMQueueDepth:   16,
-		NoCLatencyPerHop: 4,
-		NoCFlitBytes:     32,
-		MaxCTAsPerSM:     8,
+		Name:                "Fermi-like",
+		SMs:                 15,
+		WarpsPerSM:          48,
+		ThreadsPerWarp:      32,
+		CoreClockMHz:        1400,
+		L1D:                 l1d,
+		L2Banks:             12,
+		L2KBTotal:           786,
+		L2Ways:              8,
+		L2LatencyCycles:     30,
+		DRAMChannels:        6,
+		DRAMBanksPerChannel: 8,
+		DRAMRowBytes:        2048,
+		TCL:                 12,
+		TRCD:                12,
+		TRAS:                28,
+		TRP:                 12,
+		DRAMBurstCycles:     4,
+		DRAMQueueDepth:      16,
+		MemBackend:          dram.DefaultBackend,
+		NoCLatencyPerHop:    4,
+		NoCFlitBytes:        32,
+		MaxCTAsPerSM:        8,
 	}
 }
 
@@ -399,9 +454,14 @@ func VoltaGPU(l1d L1DConfig) GPUConfig {
 	g.L2Banks = 24
 	g.L2KBTotal = 6144
 	g.DRAMChannels = 8
-	// 900 GB/s HBM2-class bandwidth: wider links and more channels.
+	// 900 GB/s HBM2-class memory: the HBM2 backend, more channels with more
+	// banks each and 1 KB rows. Timing (including the 2-cycle burst on the
+	// very wide interface) comes from the backend itself — the inherited
+	// Fermi TCL/TRCD/TRP/TRAS fields are ignored for non-GDDR5 backends.
+	g.MemBackend = "HBM2"
+	g.DRAMBanksPerChannel = 16
+	g.DRAMRowBytes = 1024
 	g.NoCFlitBytes = 64
-	g.L2Banks = 24
 	return g
 }
 

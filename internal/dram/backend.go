@@ -1,0 +1,178 @@
+package dram
+
+import (
+	"fmt"
+
+	"fuse/internal/memtech"
+)
+
+// Timing is the per-technology timing parameter set the memory controller
+// schedules against. All values are in core cycles, like the rest of the
+// simulator. WriteBurstExtra models technologies whose write path is slower
+// than their read path (STT-MRAM's MTJ switching time); DRAM-family backends
+// leave it zero.
+type Timing struct {
+	TCL             int
+	TRCD            int
+	TRP             int
+	TRAS            int
+	BurstCycles     int
+	WriteBurstExtra int
+}
+
+// Energy is the per-operation dynamic energy of a backend in nano-joules:
+// one row activation, one 128-byte read burst, one 128-byte write burst.
+// The controller accumulates these as it schedules commands, giving every
+// backend sweep an energy axis next to the timing axis.
+type Energy struct {
+	ActivateNJ float64
+	ReadNJ     float64
+	WriteNJ    float64
+}
+
+// Backend is a pluggable off-chip memory technology behind the controller:
+// it supplies the timing the scheduler obeys and the energy hooks the
+// controller charges per command. The controller's geometry (channels, banks
+// per channel, row size, queue depth) stays in Config — backends describe
+// the cell technology, not the channel organisation, which is how DeepNVM++
+// and similar studies sweep memory technologies behind a fixed hierarchy.
+type Backend interface {
+	// Name is the stable identifier used by configuration and CLI flags.
+	Name() string
+	// Timing resolves the backend's timing. The baseline GDDR5 backend
+	// honours explicitly-set Config timing fields (the paper's Table I
+	// values live in config.GPUConfig); the other backends own their
+	// timing intrinsically.
+	Timing(cfg Config) Timing
+	// Energy returns the per-command energy costs.
+	Energy() Energy
+}
+
+// DefaultBackend is the backend used when none is configured: the paper's
+// GDDR5 main memory.
+const DefaultBackend = "GDDR5"
+
+// gddr5 is the paper's baseline GDDR5 memory (Table I). Its timing honours
+// the Config fields so the existing TCL/TRCD/TRP/TRAS plumbing from
+// config.GPUConfig keeps working; zero fields fall back to Table I.
+type gddr5 struct{}
+
+func (gddr5) Name() string { return "GDDR5" }
+
+func (gddr5) Timing(cfg Config) Timing {
+	t := Timing{TCL: cfg.TCL, TRCD: cfg.TRCD, TRP: cfg.TRP, TRAS: cfg.TRAS, BurstCycles: cfg.BurstCycles}
+	if t.TCL <= 0 {
+		t.TCL = 12
+	}
+	if t.TRCD <= 0 {
+		t.TRCD = 12
+	}
+	if t.TRP <= 0 {
+		t.TRP = 12
+	}
+	if t.TRAS <= 0 {
+		t.TRAS = 28
+	}
+	if t.BurstCycles <= 0 {
+		t.BurstCycles = 4
+	}
+	return t
+}
+
+// GDDR5 interface energy is on the order of 15-20 pJ/bit; a 128-byte burst
+// moves 1024 bits.
+func (gddr5) Energy() Energy { return Energy{ActivateNJ: 1.1, ReadNJ: 16.4, WriteNJ: 17.2} }
+
+// gddr5x is a faster-clocked GDDR5X/GDDR6-class point: the doubled prefetch
+// halves the burst occupancy and the core timings shrink by roughly a
+// quarter in core cycles, at slightly lower energy per bit.
+type gddr5x struct{}
+
+func (gddr5x) Name() string { return "GDDR5X" }
+
+func (gddr5x) Timing(Config) Timing {
+	return Timing{TCL: 9, TRCD: 9, TRP: 9, TRAS: 21, BurstCycles: 2}
+}
+
+func (gddr5x) Energy() Energy { return Energy{ActivateNJ: 1.0, ReadNJ: 12.8, WriteNJ: 13.4} }
+
+// hbm2 is an HBM2-class stacked-DRAM point: the slower DRAM core costs a few
+// extra cycles on every row operation, but the very wide interface drains a
+// 128-byte burst in two core cycles and moves data at ~4 pJ/bit.
+type hbm2 struct{}
+
+func (hbm2) Name() string { return "HBM2" }
+
+func (hbm2) Timing(Config) Timing {
+	return Timing{TCL: 14, TRCD: 14, TRP: 14, TRAS: 33, BurstCycles: 2}
+}
+
+func (hbm2) Energy() Energy { return Energy{ActivateNJ: 0.9, ReadNJ: 4.0, WriteNJ: 4.4} }
+
+// sttMainMemoryScale relates the 1-cycle L1D-bank read of memtech's Table I
+// STT-MRAM parameters to a main-memory array access: big arrays pay long
+// bit lines and I/O, so latency scales up and so does per-access energy.
+const (
+	sttMainMemoryLatencyScale = 3  // cycles per L1D-bank cycle at array scale
+	sttMainMemoryEnergyScale  = 12 // nJ multiplier for array + interface energy
+)
+
+// sttMRAM is an STT-MRAM main-memory point derived from the repository's
+// Table I cell parameters (memtech.STTMRAMParams). Reads are non-destructive,
+// so there is no restore phase: "precharge" and "activation" are nearly free
+// and the row buffer is a plain latch. The price is the MTJ switching time on
+// every write burst.
+type sttMRAM struct{}
+
+func (sttMRAM) Name() string { return "STT-MRAM" }
+
+func (sttMRAM) Timing(Config) Timing {
+	p := memtech.STTMRAMParams(64)
+	return Timing{
+		TCL:         14,
+		TRCD:        4,
+		TRP:         2,
+		TRAS:        8,
+		BurstCycles: 4,
+		// The extra write time is the cell-level write/read latency gap
+		// scaled to array size: (5-1) L1D cycles x 3 = 12 core cycles.
+		WriteBurstExtra: (p.WriteLatency - p.ReadLatency) * sttMainMemoryLatencyScale,
+	}
+}
+
+func (sttMRAM) Energy() Energy {
+	p := memtech.STTMRAMParams(64)
+	return Energy{
+		ActivateNJ: 0.3, // latch the target row: no destructive sense-amplify
+		ReadNJ:     p.ReadEnergy * sttMainMemoryEnergyScale,
+		WriteNJ:    p.WriteEnergy * 4, // MTJ writes already dominate at cell level
+	}
+}
+
+// backendRegistry lists every selectable backend, baseline first. The order
+// is the presentation order of backend sweeps.
+var backendRegistry = []Backend{gddr5{}, gddr5x{}, hbm2{}, sttMRAM{}}
+
+// Backends returns the names of all registered backends in registry order
+// (the baseline GDDR5 first).
+func Backends() []string {
+	names := make([]string, len(backendRegistry))
+	for i, b := range backendRegistry {
+		names[i] = b.Name()
+	}
+	return names
+}
+
+// BackendByName resolves a backend name; the empty string selects the
+// default GDDR5 backend.
+func BackendByName(name string) (Backend, error) {
+	if name == "" {
+		name = DefaultBackend
+	}
+	for _, b := range backendRegistry {
+		if b.Name() == name {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("dram: unknown memory backend %q (want one of %v)", name, Backends())
+}

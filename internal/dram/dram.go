@@ -1,26 +1,38 @@
-// Package dram models the off-chip GDDR5 global memory of the GPU: multiple
-// channels, each with several banks, per-bank row buffers and the
-// tCL/tRCD/tRP/tRAS timing constraints that make a row miss so much more
-// expensive than a row hit. Requests are scheduled per channel with a
-// simplified FR-FCFS policy (row hits are served from the queue ahead of row
-// misses), which is how real GPU memory controllers coalesce and reorder
-// traffic (Section II-A2).
+// Package dram models the off-chip global memory of the GPU as an
+// event-driven memory controller: multiple channels, each with several banks,
+// per-bank row buffers and the tCL/tRCD/tRP/tRAS timing constraints that make
+// a row miss so much more expensive than a row hit. Requests are submitted
+// into bounded per-channel queues and scheduled with FR-FCFS — at every
+// scheduling event, queued row hits are issued ahead of older row misses —
+// which is how real GPU memory controllers coalesce and reorder traffic
+// (Section II-A2). The technology behind the controller is a pluggable
+// Backend (GDDR5, GDDR5X, HBM2, an STT-MRAM main-memory point); the
+// controller charges the backend's per-command energy as it schedules.
+//
+// The controller is driven by its owner's event loop: Submit enqueues,
+// NextEventAt reports when the controller next has work, and Advance issues
+// every due command and returns the completed transfers. The synchronous
+// Access helper drives a standalone controller to completion for one request
+// (unit tests and small tools); it must not be mixed with Submit/Advance
+// callers on the same controller.
 package dram
 
 import (
 	"fmt"
+	"slices"
 
 	"fuse/internal/mem"
 	"fuse/internal/stats"
 )
 
-// Config describes the DRAM subsystem. All timings are expressed in core
-// cycles for simplicity (the paper's Table I lists them in DRAM cycles; the
-// ratio is folded into the values).
+// Config describes the controller geometry and (for the GDDR5 baseline
+// backend) the timing overrides. All timings are expressed in core cycles
+// for simplicity (the paper's Table I lists them in DRAM cycles; the ratio
+// is folded into the values).
 type Config struct {
-	// Channels is the number of independent GDDR5 channels.
+	// Channels is the number of independent memory channels.
 	Channels int
-	// BanksPerChannel is the number of DRAM banks per channel.
+	// BanksPerChannel is the number of banks per channel.
 	BanksPerChannel int
 	// RowBytes is the row-buffer size per bank.
 	RowBytes int
@@ -34,12 +46,17 @@ type Config struct {
 	TRAS int
 	// BurstCycles is the data transfer time of one 128-byte block.
 	BurstCycles int
-	// QueueDepth is the per-channel request queue depth; when the queue is
-	// full the memory controller back-pressures the L2.
+	// QueueDepth bounds the per-channel requests outstanding (queued plus
+	// in flight); when the bound is reached Submit rejects and the caller
+	// must hold the request (back-pressure).
 	QueueDepth int
+	// Backend selects the memory technology ("" = GDDR5). See Backends().
+	Backend string
 }
 
-// withDefaults fills zero fields with the paper's Table I values.
+// withDefaults fills zero geometry fields with the paper's Table I values.
+// Timing fields are resolved by the backend (the GDDR5 backend applies the
+// Table I timings to zero fields; other backends own their timing).
 func (c Config) withDefaults() Config {
 	if c.Channels <= 0 {
 		c.Channels = 6
@@ -50,28 +67,29 @@ func (c Config) withDefaults() Config {
 	if c.RowBytes <= 0 {
 		c.RowBytes = 2048
 	}
-	if c.TCL <= 0 {
-		c.TCL = 12
-	}
-	if c.TRCD <= 0 {
-		c.TRCD = 12
-	}
-	if c.TRP <= 0 {
-		c.TRP = 12
-	}
-	if c.TRAS <= 0 {
-		c.TRAS = 28
-	}
-	if c.BurstCycles <= 0 {
-		c.BurstCycles = 4
-	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 16
 	}
 	return c
 }
 
-// bankState tracks one DRAM bank: the currently open row and when the bank
+// request is one queued (not yet issued) access.
+type request struct {
+	seq    uint64
+	addr   uint64
+	row    int64
+	bank   int
+	write  bool
+	arrive int64
+}
+
+// flight is one issued access awaiting its data burst completion.
+type flight struct {
+	req  request
+	done int64
+}
+
+// bankState tracks one bank: the currently open row and when the bank
 // finishes its current operation.
 type bankState struct {
 	openRow    int64
@@ -80,18 +98,33 @@ type bankState struct {
 	lastActAt  int64
 }
 
-// channelState tracks one channel: its banks and the occupancy of the shared
-// data bus.
+// channelState tracks one channel: the FR-FCFS scheduling pool, the issued
+// in-flight requests and the occupancy of the shared data bus.
 type channelState struct {
-	banks       []bankState
-	busFreeAt   int64
-	queuedUntil []int64 // completion times of in-flight requests (for queue-depth modelling)
+	queue     []request
+	flights   []flight
+	banks     []bankState
+	busFreeAt int64
 }
 
-// DRAM is the whole off-chip memory.
+// Completion reports one finished transfer: the block whose data burst
+// completed on the channel bus at cycle Done. Seq matches the value returned
+// by Submit.
+type Completion struct {
+	Seq   uint64
+	Addr  uint64
+	Write bool
+	Done  int64
+}
+
+// DRAM is the whole off-chip memory: the controller plus its backend.
 type DRAM struct {
 	cfg      Config
+	backend  Backend
+	timing   Timing
+	energy   Energy
 	channels []channelState
+	nextSeq  uint64
 
 	accesses  stats.Counter
 	rowHits   stats.Counter
@@ -100,21 +133,54 @@ type DRAM struct {
 	writes    stats.Counter
 	totalLat  stats.Counter
 	stallsQ   stats.Counter
+	energyNJ  float64
 }
 
-// New builds a DRAM model (zero-value fields take the paper's defaults).
+// resolve applies the geometry defaults and resolves the backend and its
+// timing, returning all three plus the effective configuration.
+func (c Config) resolve() (Config, Backend, Timing, error) {
+	c = c.withDefaults()
+	be, err := BackendByName(c.Backend)
+	if err != nil {
+		return Config{}, nil, Timing{}, err
+	}
+	t := be.Timing(c)
+	c.Backend = be.Name()
+	c.TCL, c.TRCD, c.TRP, c.TRAS, c.BurstCycles = t.TCL, t.TRCD, t.TRP, t.TRAS, t.BurstCycles
+	return c, be, t, nil
+}
+
+// Resolve returns the effective configuration New would run with: geometry
+// defaults applied and timing resolved through the backend. Two Configs
+// that Resolve identically describe the identical controller — the result
+// store canonicalises its keys with this.
+func (c Config) Resolve() (Config, error) {
+	resolved, _, _, err := c.resolve()
+	return resolved, err
+}
+
+// New builds a memory controller (zero-value geometry fields take the
+// paper's defaults). It panics on an unknown backend name; callers that
+// accept user input validate with BackendByName first.
 func New(cfg Config) *DRAM {
-	cfg = cfg.withDefaults()
-	d := &DRAM{cfg: cfg}
-	d.channels = make([]channelState, cfg.Channels)
+	resolved, be, timing, err := cfg.resolve()
+	if err != nil {
+		panic(err.Error())
+	}
+	d := &DRAM{cfg: resolved, backend: be, timing: timing, energy: be.Energy()}
+	d.channels = make([]channelState, resolved.Channels)
 	for i := range d.channels {
-		d.channels[i].banks = make([]bankState, cfg.BanksPerChannel)
+		d.channels[i].banks = make([]bankState, resolved.BanksPerChannel)
 	}
 	return d
 }
 
-// Config returns the effective configuration.
+// Config returns the effective configuration (timing resolved through the
+// backend).
 func (d *DRAM) Config() Config { return d.cfg }
+
+// BackendName returns the name of the technology behind the controller.
+func (d *DRAM) BackendName() string { return d.backend.Name() }
 
 // Channels returns the number of channels.
 func (d *DRAM) Channels() int { return d.cfg.Channels }
@@ -139,101 +205,240 @@ func (d *DRAM) rowFor(addr uint64) int64 {
 	return int64(mem.BlockIndex(addr) / uint64(d.cfg.Channels) / uint64(d.cfg.BanksPerChannel) / blocksPerRow)
 }
 
-// pruneQueue drops completed entries from the channel's in-flight list.
-func (ch *channelState) pruneQueue(now int64) {
-	kept := ch.queuedUntil[:0]
-	for _, t := range ch.queuedUntil {
-		if t > now {
-			kept = append(kept, t)
-		}
+// Submit enqueues a read or write of one 128-byte block arriving at the
+// controller at cycle `at`. It returns the request's sequence number and
+// whether the channel accepted it; a false result means the channel queue is
+// full and the caller must retry after the next completion (back-pressure).
+// Each first-attempt rejection counts one queue stall; use Resubmit for
+// retries of an already-counted request.
+func (d *DRAM) Submit(addr uint64, write bool, at int64) (uint64, bool) {
+	seq, ok := d.Resubmit(addr, write, at)
+	if !ok {
+		d.stallsQ.Inc()
 	}
-	ch.queuedUntil = kept
+	return seq, ok
 }
 
-// Access issues a read or write of one 128-byte block at cycle `now` and
-// returns the cycle at which the data transfer completes. Queue back-pressure
-// is modelled by delaying the request start until a queue slot frees.
-func (d *DRAM) Access(addr uint64, write bool, now int64) int64 {
+// Resubmit is Submit for a request whose earlier rejection was already
+// counted: a further rejection does not inflate the queue-stall statistic
+// (the L2 re-attempts its held-back work at every controller event).
+func (d *DRAM) Resubmit(addr uint64, write bool, at int64) (uint64, bool) {
+	ch := &d.channels[d.ChannelFor(addr)]
+	if len(ch.queue)+len(ch.flights) >= d.cfg.QueueDepth {
+		return 0, false
+	}
+	d.nextSeq++
+	r := request{
+		seq:    d.nextSeq,
+		addr:   addr,
+		row:    d.rowFor(addr),
+		bank:   d.bankFor(addr),
+		write:  write,
+		arrive: at,
+	}
+	ch.queue = append(ch.queue, r)
 	d.accesses.Inc()
 	if write {
 		d.writes.Inc()
 	} else {
 		d.reads.Inc()
 	}
-	chIdx := d.ChannelFor(addr)
-	ch := &d.channels[chIdx]
-	bank := &ch.banks[d.bankFor(addr)]
-	row := d.rowFor(addr)
+	return r.seq, true
+}
 
-	start := now
-	ch.pruneQueue(now)
-	if len(ch.queuedUntil) >= d.cfg.QueueDepth {
-		// Queue full: wait for the earliest in-flight request to finish.
-		earliest := ch.queuedUntil[0]
-		for _, t := range ch.queuedUntil {
-			if t < earliest {
-				earliest = t
-			}
-		}
-		if earliest > start {
-			start = earliest
-			d.stallsQ.Inc()
-		}
-		ch.pruneQueue(start)
+// Pending returns the number of requests queued or in flight.
+func (d *DRAM) Pending() int {
+	n := 0
+	for i := range d.channels {
+		n += len(d.channels[i].queue) + len(d.channels[i].flights)
 	}
-	if bank.readyAt > start {
-		start = bank.readyAt
-	}
+	return n
+}
 
+// issueReadyAt returns the earliest cycle the request's row/bank constraints
+// allow its commands to start: its arrival, the bank finishing its current
+// operation, and — when a precharge is needed — tRAS since the last
+// activation.
+func (d *DRAM) issueReadyAt(ch *channelState, r request) int64 {
+	b := &ch.banks[r.bank]
+	at := r.arrive
+	if b.readyAt > at {
+		at = b.readyAt
+	}
+	if b.hasOpenRow && b.openRow != r.row {
+		if minPre := b.lastActAt + int64(d.timing.TRAS); minPre > at {
+			at = minPre
+		}
+	}
+	return at
+}
+
+// NextEventAt returns the earliest cycle at which the controller can make
+// progress: a queued request becoming issuable or an in-flight burst
+// completing. It returns -1 when the controller is idle.
+func (d *DRAM) NextEventAt() int64 {
+	next := int64(-1)
+	consider := func(t int64) {
+		if next < 0 || t < next {
+			next = t
+		}
+	}
+	for i := range d.channels {
+		ch := &d.channels[i]
+		for _, f := range ch.flights {
+			consider(f.done)
+		}
+		for _, r := range ch.queue {
+			consider(d.issueReadyAt(ch, r))
+		}
+	}
+	return next
+}
+
+// pick selects the next request to issue on the channel at cycle now using
+// FR-FCFS: among the requests whose constraints are satisfied, the oldest
+// row hit wins; with no issuable row hit, the oldest issuable request wins.
+// Age ordering comes from the queue itself — it is append-only with
+// order-preserving deletion, so earlier indices are always older requests.
+// It returns -1 when nothing can issue at `now`.
+func (d *DRAM) pick(ch *channelState, now int64) int {
+	best, bestHit := -1, false
+	for i, r := range ch.queue {
+		if d.issueReadyAt(ch, r) > now {
+			continue
+		}
+		b := &ch.banks[r.bank]
+		hit := b.hasOpenRow && b.openRow == r.row
+		if best < 0 || (hit && !bestHit) {
+			best, bestHit = i, hit
+		}
+	}
+	return best
+}
+
+// service issues one request at cycle now, updating bank, bus and energy
+// state, and returns its completion time.
+func (d *DRAM) service(ch *channelState, r request, now int64) int64 {
+	b := &ch.banks[r.bank]
 	var dataAt int64
-	if bank.hasOpenRow && bank.openRow == row {
-		// Row hit (FR-FCFS prioritises these, which in this model simply
-		// means they are not charged activation latency).
+	if b.hasOpenRow && b.openRow == r.row {
 		d.rowHits.Inc()
-		dataAt = start + int64(d.cfg.TCL)
+		dataAt = now + int64(d.timing.TCL)
 	} else {
 		d.rowMisses.Inc()
-		precharge := int64(0)
-		if bank.hasOpenRow {
-			// Respect tRAS: the previous activation must have been open
-			// long enough before we can precharge.
-			minPre := bank.lastActAt + int64(d.cfg.TRAS)
-			if minPre > start {
-				start = minPre
-			}
-			precharge = int64(d.cfg.TRP)
+		start := now
+		if b.hasOpenRow {
+			// tRAS was respected by issueReadyAt; pay the precharge.
+			start += int64(d.timing.TRP)
 		}
-		actAt := start + precharge
-		bank.lastActAt = actAt
-		dataAt = actAt + int64(d.cfg.TRCD) + int64(d.cfg.TCL)
-		bank.hasOpenRow = true
-		bank.openRow = row
+		b.lastActAt = start
+		b.hasOpenRow = true
+		b.openRow = r.row
+		dataAt = start + int64(d.timing.TRCD) + int64(d.timing.TCL)
+		d.energyNJ += d.energy.ActivateNJ
 	}
 
-	// The data burst occupies the channel's shared bus.
+	// The data burst occupies the channel's shared bus; STT-MRAM-class
+	// backends pay the write-path gap on top of the burst.
+	burst := int64(d.timing.BurstCycles)
+	if r.write {
+		burst += int64(d.timing.WriteBurstExtra)
+		d.energyNJ += d.energy.WriteNJ
+	} else {
+		d.energyNJ += d.energy.ReadNJ
+	}
 	burstStart := dataAt
 	if ch.busFreeAt > burstStart {
 		burstStart = ch.busFreeAt
 	}
-	done := burstStart + int64(d.cfg.BurstCycles)
+	done := burstStart + burst
 	ch.busFreeAt = done
-	bank.readyAt = done
-
-	ch.queuedUntil = append(ch.queuedUntil, done)
-	d.totalLat.Add(uint64(done - now))
+	b.readyAt = done
+	d.totalLat.Add(uint64(done - r.arrive))
 	return done
 }
 
-// Accesses returns the number of requests served.
+// Advance runs the controller up to cycle now: it retires every burst that
+// completed at or before now and issues every request whose constraints are
+// satisfied, in FR-FCFS order. Completions are returned sorted by completion
+// time (ties by submission order). Callers re-arm their event loop from
+// NextEventAt afterwards.
+func (d *DRAM) Advance(now int64) []Completion {
+	var out []Completion
+	for i := range d.channels {
+		ch := &d.channels[i]
+		kept := ch.flights[:0]
+		for _, f := range ch.flights {
+			if f.done <= now {
+				out = append(out, Completion{Seq: f.req.seq, Addr: f.req.addr, Write: f.req.write, Done: f.done})
+			} else {
+				kept = append(kept, f)
+			}
+		}
+		ch.flights = kept
+		for {
+			idx := d.pick(ch, now)
+			if idx < 0 {
+				break
+			}
+			r := ch.queue[idx]
+			ch.queue = slices.Delete(ch.queue, idx, idx+1)
+			ch.flights = append(ch.flights, flight{req: r, done: d.service(ch, r, now)})
+		}
+	}
+	slices.SortFunc(out, func(a, b Completion) int {
+		if a.Done != b.Done {
+			return int(a.Done - b.Done)
+		}
+		return int(a.Seq - b.Seq)
+	})
+	return out
+}
+
+// Access synchronously drives one request to completion and returns the
+// cycle at which its data transfer completes. It is a standalone driver for
+// unit tests and small tools; do not mix it with Submit/Advance callers on
+// the same controller, because it discards the completions of other
+// outstanding requests.
+func (d *DRAM) Access(addr uint64, write bool, now int64) int64 {
+	at := now
+	seq, ok := d.Submit(addr, write, at)
+	for !ok {
+		next := d.NextEventAt()
+		if next <= at {
+			next = at + 1
+		}
+		d.Advance(next)
+		at = next
+		seq, ok = d.Resubmit(addr, write, at)
+	}
+	for {
+		next := d.NextEventAt()
+		if next < 0 {
+			panic("dram: submitted request produced no event")
+		}
+		if next < at {
+			next = at
+		}
+		for _, c := range d.Advance(next) {
+			if c.Seq == seq {
+				return c.Done
+			}
+		}
+		at = next
+	}
+}
+
+// Accesses returns the number of requests accepted.
 func (d *DRAM) Accesses() uint64 { return d.accesses.Value() }
 
-// Reads returns the number of read requests served.
+// Reads returns the number of read requests accepted.
 func (d *DRAM) Reads() uint64 { return d.reads.Value() }
 
-// Writes returns the number of write requests served.
+// Writes returns the number of write requests accepted.
 func (d *DRAM) Writes() uint64 { return d.writes.Value() }
 
-// RowHitRate returns the fraction of accesses that hit an open row.
+// RowHitRate returns the fraction of issued requests that hit an open row.
 func (d *DRAM) RowHitRate() float64 {
 	total := d.rowHits.Value() + d.rowMisses.Value()
 	if total == 0 {
@@ -242,16 +447,23 @@ func (d *DRAM) RowHitRate() float64 {
 	return float64(d.rowHits.Value()) / float64(total)
 }
 
-// AverageLatency returns the mean access latency in cycles.
+// AverageLatency returns the mean arrival-to-completion latency in cycles of
+// the requests issued so far.
 func (d *DRAM) AverageLatency() float64 {
-	if d.accesses.Value() == 0 {
+	issued := d.rowHits.Value() + d.rowMisses.Value()
+	if issued == 0 {
 		return 0
 	}
-	return float64(d.totalLat.Value()) / float64(d.accesses.Value())
+	return float64(d.totalLat.Value()) / float64(issued)
 }
 
-// QueueStalls returns the number of requests delayed by a full channel queue.
+// QueueStalls returns the number of submissions rejected by a full channel
+// queue.
 func (d *DRAM) QueueStalls() uint64 { return d.stallsQ.Value() }
+
+// EnergyNJ returns the dynamic energy in nano-joules charged by the backend
+// for the commands issued so far.
+func (d *DRAM) EnergyNJ() float64 { return d.energyNJ }
 
 // Reset clears all channel, bank and statistic state.
 func (d *DRAM) Reset() {
@@ -260,8 +472,10 @@ func (d *DRAM) Reset() {
 			d.channels[i].banks[b] = bankState{}
 		}
 		d.channels[i].busFreeAt = 0
-		d.channels[i].queuedUntil = nil
+		d.channels[i].queue = nil
+		d.channels[i].flights = nil
 	}
+	d.nextSeq = 0
 	d.accesses.Reset()
 	d.rowHits.Reset()
 	d.rowMisses.Reset()
@@ -269,10 +483,11 @@ func (d *DRAM) Reset() {
 	d.writes.Reset()
 	d.totalLat.Reset()
 	d.stallsQ.Reset()
+	d.energyNJ = 0
 }
 
 // String describes the configuration.
 func (d *DRAM) String() string {
-	return fmt.Sprintf("GDDR5{%d channels x %d banks, tCL=%d tRCD=%d tRP=%d tRAS=%d}",
-		d.cfg.Channels, d.cfg.BanksPerChannel, d.cfg.TCL, d.cfg.TRCD, d.cfg.TRP, d.cfg.TRAS)
+	return fmt.Sprintf("%s{%d channels x %d banks, tCL=%d tRCD=%d tRP=%d tRAS=%d}",
+		d.backend.Name(), d.cfg.Channels, d.cfg.BanksPerChannel, d.cfg.TCL, d.cfg.TRCD, d.cfg.TRP, d.cfg.TRAS)
 }

@@ -20,6 +20,9 @@ func TestDefaultsMatchTableI(t *testing.T) {
 	if d.Channels() != 6 {
 		t.Errorf("Channels() = %d", d.Channels())
 	}
+	if d.BackendName() != "GDDR5" {
+		t.Errorf("default backend should be GDDR5, got %s", d.BackendName())
+	}
 	if !strings.Contains(d.String(), "GDDR5") {
 		t.Errorf("String should describe the device")
 	}
@@ -75,22 +78,84 @@ func TestBankLevelParallelism(t *testing.T) {
 	}
 }
 
-func TestQueueBackpressure(t *testing.T) {
-	d := New(Config{QueueDepth: 2})
-	// Flood one channel: with a depth-2 queue, later requests must be
-	// delayed and the stall counter must grow.
-	base := uint64(0)
-	var last int64
-	for i := 0; i < 20; i++ {
-		// Same channel: step by Channels blocks.
-		addr := base + uint64(i)*uint64(d.Config().Channels)*mem.BlockSize
-		last = d.Access(addr, false, 0)
+// TestFRFCFSRowHitOvertakesRowMiss pins the scheduling policy the old
+// arrival-ordered model could not express: while the bank serves row 0, an
+// older queued request to row 1 is overtaken by a younger request to the
+// open row 0.
+func TestFRFCFSRowHitOvertakesRowMiss(t *testing.T) {
+	d := New(Config{Channels: 1, BanksPerChannel: 1})
+	blocksPerRow := uint64(d.Config().RowBytes / mem.BlockSize)
+
+	rowMiss := blocksPerRow * mem.BlockSize // row 1
+	rowHit := uint64(mem.BlockSize)         // row 0, distinct block from the opener
+
+	if _, ok := d.Submit(0, false, 0); !ok { // opens row 0
+		t.Fatal("submit rejected")
 	}
-	if d.QueueStalls() == 0 {
-		t.Errorf("expected queue stalls under flood")
+	d.Advance(0)
+	seqMiss, ok := d.Submit(rowMiss, false, 1)
+	if !ok {
+		t.Fatal("submit rejected")
 	}
-	if last <= int64(d.Config().TCL) {
-		t.Errorf("flooded channel should finish well after a single access")
+	seqHit, ok := d.Submit(rowHit, false, 2)
+	if !ok {
+		t.Fatal("submit rejected")
+	}
+
+	doneAt := map[uint64]int64{}
+	for len(doneAt) < 3 {
+		next := d.NextEventAt()
+		if next < 0 {
+			t.Fatalf("controller idle with work outstanding")
+		}
+		for _, c := range d.Advance(next) {
+			doneAt[c.Seq] = c.Done
+		}
+	}
+	if doneAt[seqHit] >= doneAt[seqMiss] {
+		t.Errorf("FR-FCFS must serve the younger row hit (done %d) before the older row miss (done %d)",
+			doneAt[seqHit], doneAt[seqMiss])
+	}
+	if d.RowHitRate() == 0 {
+		t.Errorf("the overtaking request should have been a row hit")
+	}
+}
+
+func TestSubmitBackPressure(t *testing.T) {
+	d := New(Config{Channels: 1, QueueDepth: 2})
+	if _, ok := d.Submit(0, false, 0); !ok {
+		t.Fatal("first submit should be accepted")
+	}
+	if _, ok := d.Submit(mem.BlockSize, false, 0); !ok {
+		t.Fatal("second submit should be accepted")
+	}
+	if _, ok := d.Submit(2*mem.BlockSize, false, 0); ok {
+		t.Fatal("third submit must be rejected by a depth-2 queue")
+	}
+	if d.QueueStalls() != 1 {
+		t.Errorf("rejections should be counted, got %d", d.QueueStalls())
+	}
+	// Retrying the same held-back request must not inflate the statistic:
+	// one delayed request is one queue stall, however often it re-attempts.
+	if _, ok := d.Resubmit(2*mem.BlockSize, false, 0); ok {
+		t.Fatal("resubmit should still be rejected")
+	}
+	if d.QueueStalls() != 1 {
+		t.Errorf("Resubmit rejections must not re-count stalls, got %d", d.QueueStalls())
+	}
+	if d.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", d.Pending())
+	}
+	// Drain one completion: a slot frees up.
+	for d.Pending() == 2 {
+		next := d.NextEventAt()
+		if next < 0 {
+			t.Fatal("controller idle with work outstanding")
+		}
+		d.Advance(next)
+	}
+	if _, ok := d.Submit(2*mem.BlockSize, false, d.NextEventAt()); !ok {
+		t.Errorf("submit should succeed after a completion freed a slot")
 	}
 }
 
@@ -103,6 +168,9 @@ func TestReadWriteCounted(t *testing.T) {
 	}
 	if d.AverageLatency() <= 0 {
 		t.Errorf("average latency should be positive")
+	}
+	if d.EnergyNJ() <= 0 {
+		t.Errorf("issued commands should accumulate backend energy")
 	}
 }
 
@@ -139,6 +207,68 @@ func TestOffChipLatencyFarExceedsL1Latency(t *testing.T) {
 	}
 }
 
+func TestBackendRegistry(t *testing.T) {
+	names := Backends()
+	if len(names) < 3 {
+		t.Fatalf("at least three backends must be selectable, got %v", names)
+	}
+	if names[0] != DefaultBackend {
+		t.Errorf("the baseline backend should lead the registry: %v", names)
+	}
+	for _, name := range names {
+		be, err := BackendByName(name)
+		if err != nil || be.Name() != name {
+			t.Errorf("BackendByName(%q) = %v, %v", name, be, err)
+		}
+		tm := be.Timing(Config{}.withDefaults())
+		if tm.TCL <= 0 || tm.TRCD <= 0 || tm.TRP <= 0 || tm.TRAS <= 0 || tm.BurstCycles <= 0 {
+			t.Errorf("backend %s has non-positive timing: %+v", name, tm)
+		}
+		e := be.Energy()
+		if e.ReadNJ <= 0 || e.WriteNJ <= 0 {
+			t.Errorf("backend %s has non-positive energy: %+v", name, e)
+		}
+	}
+	if _, err := BackendByName(""); err != nil {
+		t.Errorf("empty name should resolve to the default backend: %v", err)
+	}
+	if _, err := BackendByName("PCM-9000"); err == nil {
+		t.Errorf("unknown backend should be rejected")
+	}
+}
+
+func TestUnknownBackendPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("New with an unknown backend should panic")
+		}
+	}()
+	New(Config{Backend: "PCM-9000"})
+}
+
+func TestBackendsShapeTimingAndEnergy(t *testing.T) {
+	// STT-MRAM main memory: writes pay the MTJ switching time on top of the
+	// burst, so a write burst takes longer than a read burst.
+	stt := New(Config{Backend: "STT-MRAM", Channels: 1, BanksPerChannel: 1})
+	r1 := stt.Access(0, false, 0)
+	r2 := stt.Access(0, false, r1) // row hit read
+	w := stt.Access(0, true, r2)   // row hit write
+	if w-r2 <= r2-r1 {
+		t.Errorf("STT-MRAM write burst (%d) should exceed its read burst (%d)", w-r2, r2-r1)
+	}
+	// HBM2 moves a burst in fewer bus cycles than GDDR5 and at lower energy.
+	hbm := New(Config{Backend: "HBM2"})
+	gddr := New(Config{})
+	if hbm.Config().BurstCycles >= gddr.Config().BurstCycles {
+		t.Errorf("HBM2 burst (%d) should beat GDDR5 (%d)", hbm.Config().BurstCycles, gddr.Config().BurstCycles)
+	}
+	hbm.Access(0, false, 0)
+	gddr.Access(0, false, 0)
+	if hbm.EnergyNJ() >= gddr.EnergyNJ() {
+		t.Errorf("HBM2 access energy (%v nJ) should be below GDDR5 (%v nJ)", hbm.EnergyNJ(), gddr.EnergyNJ())
+	}
+}
+
 func TestResetClearsState(t *testing.T) {
 	d := New(Config{})
 	d.Access(0, false, 0)
@@ -146,6 +276,9 @@ func TestResetClearsState(t *testing.T) {
 	d.Reset()
 	if d.Accesses() != 0 || d.RowHitRate() != 0 || d.AverageLatency() != 0 || d.QueueStalls() != 0 {
 		t.Errorf("Reset should clear statistics")
+	}
+	if d.Pending() != 0 || d.NextEventAt() != -1 || d.EnergyNJ() != 0 {
+		t.Errorf("Reset should clear controller state")
 	}
 	// After reset the first access is a row miss again.
 	d.Access(0, false, 0)

@@ -75,6 +75,17 @@ func (j Job) GPUConfig() config.GPUConfig {
 	return config.FermiGPU(config.NewL1DConfig(j.Kind))
 }
 
+// BackendJob builds the canonical job for a kind-based simulation on an
+// explicit memory backend: the Fermi-class GPU with MemBackend set under the
+// "<kind>@<backend>" label. The CLI tools, the server and the experiment
+// matrix all build backend-override jobs through this one helper, so the
+// same logical point always hashes to the same store key.
+func BackendJob(kind config.L1DKind, workload, backend string, opts sim.Options) Job {
+	cfg := config.FermiGPU(config.NewL1DConfig(kind))
+	cfg.MemBackend = backend
+	return Job{Label: kind.String() + "@" + backend, GPU: &cfg, Workload: workload, Opts: opts}
+}
+
 // StoreKey returns the job's content-addressed result-store key: the stable
 // hash of its effective GPU configuration, workload profile and simulation
 // options (see store.Key). Unlike Key, which identifies a job within one

@@ -19,6 +19,7 @@ import (
 	"slices"
 
 	"fuse/internal/config"
+	"fuse/internal/dram"
 	"fuse/internal/engine"
 	"fuse/internal/sim"
 	"fuse/internal/stats"
@@ -64,6 +65,10 @@ func (s Scale) Options() sim.Options {
 type Matrix struct {
 	scale  Scale
 	runner *engine.Runner
+	// backend, when non-empty, overrides the memory backend of every job
+	// the matrix builds (see SetBackend). The backend-sweep experiment
+	// bypasses it: its jobs pin their backends explicitly.
+	backend string
 }
 
 // NewMatrix creates an empty result cache at the given scale, executing on
@@ -91,8 +96,19 @@ func (m *Matrix) Scale() Scale { return m.scale }
 // Runner exposes the underlying engine Runner.
 func (m *Matrix) Runner() *engine.Runner { return m.runner }
 
-// job builds the engine job for a kind-based simulation.
+// SetBackend makes every job of this matrix run on the given memory backend
+// (see dram.Backends; empty restores the configurations' own backends). The
+// caller validates the name; figure functions and Jobs declarations build
+// identical jobs either way, so pre-warmed caches keep hitting.
+func (m *Matrix) SetBackend(name string) { m.backend = name }
+
+// job builds the engine job for a kind-based simulation. A backend override
+// materialises the GPU config (the engine's kind jobs are Fermi-default) and
+// labels the job so it cannot collide with the unoverridden one.
 func (m *Matrix) job(kind config.L1DKind, workload string) engine.Job {
+	if m.backend != "" {
+		return engine.BackendJob(kind, workload, m.backend, m.scale.Options())
+	}
 	return engine.Job{Kind: kind, Workload: workload, Opts: m.scale.Options()}
 }
 
@@ -100,7 +116,23 @@ func (m *Matrix) job(kind config.L1DKind, workload string) engine.Job {
 // the dedup identity, exactly as in the pre-engine Matrix.
 func (m *Matrix) customJob(label string, gpuCfg config.GPUConfig, workload string) engine.Job {
 	cfg := gpuCfg
+	if m.backend != "" {
+		cfg.MemBackend = m.backend
+		label += "@" + m.backend
+	}
 	return engine.Job{Label: label, GPU: &cfg, Workload: workload, Opts: m.scale.Options()}
+}
+
+// backendJob builds one point of the backend sweep: the paper's full Dy-FUSE
+// proposal on the Fermi-class GPU with the given memory backend. It bypasses
+// any SetBackend override — the sweep's identity is its backend.
+func (m *Matrix) backendJob(backend, workload string) engine.Job {
+	return engine.BackendJob(config.DyFUSE, workload, backend, m.scale.Options())
+}
+
+// getBackend runs (or reads) one backend-sweep point.
+func (m *Matrix) getBackend(backend, workload string) (sim.Result, error) {
+	return m.runner.Get(context.Background(), m.backendJob(backend, workload))
 }
 
 // Get runs (or returns the cached result of) one simulation.
@@ -133,11 +165,30 @@ func (m *Matrix) Prewarm(ctx context.Context, names []string, workloads []string
 	return err
 }
 
+// backendSweepWorkloads resolves the backend sweep's workload set: its
+// default is the memory-intensive motivation set (the sweep is about
+// off-chip behaviour), not the full 21-workload matrix.
+func backendSweepWorkloads(workloads []string) []string {
+	if workloads == nil {
+		return trace.MotivationWorkloads()
+	}
+	return workloads
+}
+
 // Jobs declares the full simulation set of one experiment: every (config,
 // workload) point the figure function will request. Experiments that run no
 // simulations (table1, table3, fig6, fig20) declare an empty set. A nil
 // workloads slice means the experiment's default set.
 func (m *Matrix) Jobs(name string, workloads []string) []engine.Job {
+	if name == ExpBackends {
+		var jobs []engine.Job
+		for _, w := range backendSweepWorkloads(workloads) {
+			for _, be := range dram.Backends() {
+				jobs = append(jobs, m.backendJob(be, w))
+			}
+		}
+		return jobs
+	}
 	if workloads == nil {
 		workloads = AllWorkloads()
 	}
@@ -226,14 +277,19 @@ const (
 	ExpFig19  = "fig19"
 	ExpFig20  = "fig20"
 	ExpTable3 = "table3"
+	// ExpBackends is this repository's extension beyond the paper: the
+	// DeepNVM++-style sweep of the main-memory technology behind the fixed
+	// cache hierarchy.
+	ExpBackends = "backends"
 )
 
-// AllExperiments lists every experiment identifier in paper order.
+// AllExperiments lists every experiment identifier in paper order, followed
+// by the repository's extensions.
 func AllExperiments() []string {
 	return []string{
 		ExpFig1, ExpFig3, ExpFig6, ExpFig7, ExpTable1, ExpTable2,
 		ExpFig13, ExpFig14, ExpFig15, ExpFig16, ExpFig17,
-		ExpFig18, ExpFig19, ExpFig20, ExpTable3,
+		ExpFig18, ExpFig19, ExpFig20, ExpTable3, ExpBackends,
 	}
 }
 
@@ -252,6 +308,9 @@ func RunContext(ctx context.Context, m *Matrix, name string, workloads []string)
 	}
 	if err := m.Prewarm(ctx, []string{name}, workloads); err != nil {
 		return nil, err
+	}
+	if name == ExpBackends {
+		return BackendSweep(m, backendSweepWorkloads(workloads))
 	}
 	if workloads == nil {
 		workloads = AllWorkloads()

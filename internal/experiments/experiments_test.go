@@ -266,8 +266,8 @@ func TestRunDispatch(t *testing.T) {
 	if _, err := Run(m, "not-an-experiment", nil); err == nil {
 		t.Errorf("unknown experiment should fail")
 	}
-	if len(AllExperiments()) != 15 {
-		t.Errorf("expected 15 experiments, got %d", len(AllExperiments()))
+	if len(AllExperiments()) != 16 {
+		t.Errorf("expected 16 experiments (15 paper artefacts + the backend sweep), got %d", len(AllExperiments()))
 	}
 	if len(AllWorkloads()) != 21 {
 		t.Errorf("expected 21 workloads, got %d", len(AllWorkloads()))

@@ -6,6 +6,7 @@ import (
 	"fuse/internal/area"
 	"fuse/internal/cbf"
 	"fuse/internal/config"
+	"fuse/internal/dram"
 	"fuse/internal/energy"
 	"fuse/internal/mem"
 	"fuse/internal/sim"
@@ -518,6 +519,57 @@ func Table3Area() *stats.Table {
 	t.AddRow("TOTAL", fmt.Sprintf("%d", base.Total()), fmt.Sprintf("%d", fuse.Total()))
 	t.AddRow("overhead", "-", fmt.Sprintf("%.2f%%", area.OverheadPercent()))
 	return t
+}
+
+// BackendSweep is the repository's DeepNVM++-style extension: the paper's
+// full Dy-FUSE proposal evaluated over every registered off-chip memory
+// backend (GDDR5 baseline, GDDR5X, HBM2, an STT-MRAM main-memory point)
+// behind the unchanged cache hierarchy. IPC is normalised to the GDDR5
+// baseline; the energy columns are the memory controller's dynamic energy in
+// micro-joules charged through the backend's per-command hooks.
+func BackendSweep(m *Matrix, workloads []string) (*stats.Table, error) {
+	backends := dram.Backends()
+	cols := []string{"workload"}
+	for _, be := range backends {
+		cols = append(cols, "ipc."+be)
+	}
+	for _, be := range backends {
+		cols = append(cols, "uJ."+be)
+	}
+	t := stats.NewTable("Backend sweep: Dy-FUSE across off-chip memory technologies (IPC normalised to GDDR5)", cols...)
+	speedups := make([][]float64, len(backends))
+	energies := make([][]float64, len(backends))
+	for _, w := range workloads {
+		results := make([]sim.Result, len(backends))
+		for i, be := range backends {
+			res, err := m.getBackend(be, w)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = res
+		}
+		vals := make([]float64, 0, 2*len(backends))
+		for i, res := range results {
+			s := res.SpeedupOver(results[0])
+			speedups[i] = append(speedups[i], s)
+			vals = append(vals, s)
+		}
+		for i, res := range results {
+			uj := res.DRAMEnergyNJ / 1000
+			energies[i] = append(energies[i], uj)
+			vals = append(vals, uj)
+		}
+		t.AddRowValues(w, vals...)
+	}
+	means := make([]float64, 0, 2*len(backends))
+	for i := range backends {
+		means = append(means, stats.Mean(speedups[i]))
+	}
+	for i := range backends {
+		means = append(means, stats.Mean(energies[i]))
+	}
+	t.AddRowValues("MEAN", means...)
+	return t, nil
 }
 
 // helper used in tests to run a single simulation at a scale without a matrix.

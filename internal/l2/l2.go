@@ -1,13 +1,22 @@
 // Package l2 models the shared, banked L2 cache that sits between the
-// interconnection network and the GDDR5 DRAM. Every bank is a set-associative
-// write-back cache with its own access port; an L2 miss is serviced by the
-// DRAM channel the bank is attached to (two L2 banks per channel in the
-// paper's baseline). The L2 access latency includes the ECC overhead that
-// makes it far slower than the L1D (Section II-A2).
+// interconnection network and the off-chip memory controller. Every bank is a
+// set-associative write-back cache with its own access port and its own MSHR
+// file: a read miss allocates an MSHR entry (back-pressuring the requester
+// when PendingLimit entries are outstanding), secondary misses merge into the
+// in-flight entry, and the block is inserted into the tag store only when the
+// DRAM fill completes — an access can therefore never observe a block earlier
+// than the memory controller delivered it. The L2 access latency includes the
+// ECC overhead that makes it far slower than the L1D (Section II-A2).
+//
+// The miss path is event-driven: Access classifies the request and (on a
+// primary miss) submits the fill to the controller; the owner's event loop
+// calls Advance at NextEventAt times, and Advance returns the completed fills
+// with every waiter that merged into them.
 package l2
 
 import (
 	"fmt"
+	"slices"
 
 	"fuse/internal/cache"
 	"fuse/internal/dram"
@@ -29,8 +38,12 @@ type Config struct {
 	// port; the bank is pipelined, so this is much smaller than the access
 	// latency and determines the bank's throughput.
 	PortOccupancy int
-	// PendingLimit is the number of outstanding misses a bank can track.
+	// PendingLimit is the number of MSHR entries per bank: the number of
+	// outstanding primary misses a bank can track before it back-pressures.
 	PendingLimit int
+	// MergeWidth is the maximum number of read requests merged into one
+	// MSHR entry (the primary plus secondaries).
+	MergeWidth int
 }
 
 // withDefaults fills zero fields with the paper's Table I values: 786 KB
@@ -54,33 +67,79 @@ func (c Config) withDefaults() Config {
 	if c.PendingLimit <= 0 {
 		c.PendingLimit = 64
 	}
+	if c.MergeWidth <= 0 {
+		c.MergeWidth = 16
+	}
 	return c
+}
+
+// Waiter is one request merged into an in-flight fill, with its arrival time
+// at the L2 (per-requestor latency accounting needs it) and the earliest
+// cycle its own bank pipeline could deliver data.
+type Waiter struct {
+	Req    mem.Request
+	Arrive int64
+	// Ready is the cycle the waiter's tag/ECC pipeline completes (port
+	// serialisation included): its data cannot be returned before
+	// max(Ready, the fill's completion), even when the fill lands first.
+	Ready int64
+}
+
+// DoneAt returns the cycle the waiter's data is available given its fill's
+// completion time: the fill delivery, floored at the waiter's own bank
+// pipeline latency — a secondary miss can never beat an L2 hit.
+func (w Waiter) DoneAt(fillDone int64) int64 {
+	if w.Ready > fillDone {
+		return w.Ready
+	}
+	return fillDone
+}
+
+// fillEntry is one MSHR entry: an outstanding primary miss and the requests
+// merged into it.
+type fillEntry struct {
+	block   uint64
+	pc      uint64
+	dirty   bool // a full-block write merged into the fill: insert dirty
+	issued  bool // handed to the memory controller (false under back-pressure)
+	readyAt int64
+	waiters []Waiter
 }
 
 // bank is one L2 cache bank.
 type bank struct {
-	store   *cache.TagStore
-	portAt  int64
-	pending map[uint64]int64 // block -> completion time of the in-flight DRAM fill
+	store  *cache.TagStore
+	portAt int64
+	mshr   map[uint64]*fillEntry
+	order  []uint64 // allocation order, for deterministic retry of unissued entries
+	// wbq is the bank's write buffer: dirty victims the channel queue
+	// rejected. It is deliberately unbounded — evictions happen at fill
+	// completion and cannot be NACKed — but growth is self-limiting (each
+	// entry stems from one insert, and inserts are paced by the same
+	// bounded fill path), and pump drains it ahead of new fills so write
+	// traffic still contends for the bounded channel queue.
+	wbq []uint64
 }
 
-// L2 is the shared cache; it owns a reference to the DRAM model so that a
-// miss can be charged the full off-chip latency.
+// L2 is the shared cache; it owns the memory controller so that a miss can
+// be charged the full off-chip latency.
 type L2 struct {
 	cfg   Config
 	banks []*bank
 	dram  *dram.DRAM
 
-	accesses  stats.Counter
-	hits      stats.Counter
-	misses    stats.Counter
-	writes    stats.Counter
-	wbToDRAM  stats.Counter
-	mergedFly stats.Counter
+	accesses   stats.Counter
+	hits       stats.Counter
+	misses     stats.Counter
+	writes     stats.Counter
+	wbToDRAM   stats.Counter
+	mergedFly  stats.Counter
+	mshrStalls stats.Counter
+	fillsDone  stats.Counter
 }
 
-// New builds an L2 cache backed by the given DRAM model. The DRAM model must
-// not be nil.
+// New builds an L2 cache backed by the given memory controller. The
+// controller must not be nil.
 func New(cfg Config, d *dram.DRAM) *L2 {
 	cfg = cfg.withDefaults()
 	if d == nil {
@@ -98,8 +157,8 @@ func New(cfg Config, d *dram.DRAM) *L2 {
 	l.banks = make([]*bank, cfg.Banks)
 	for i := range l.banks {
 		l.banks[i] = &bank{
-			store:   cache.NewTagStore(sets, cfg.Ways, cache.LRU),
-			pending: make(map[uint64]int64),
+			store: cache.NewTagStore(sets, cfg.Ways, cache.LRU),
+			mshr:  make(map[uint64]*fillEntry),
 		}
 	}
 	return l
@@ -117,7 +176,8 @@ func (l *L2) BankFor(addr uint64) int {
 }
 
 // ChannelForBank maps an L2 bank to its DRAM channel (banks are distributed
-// evenly across channels: 12 banks / 6 channels = 2 banks per channel).
+// evenly across channels: 12 banks / 6 channels = 2 banks per channel in the
+// paper's baseline).
 func (l *L2) ChannelForBank(bankIdx int) int {
 	perChannel := l.cfg.Banks / l.dram.Channels()
 	if perChannel <= 0 {
@@ -126,23 +186,90 @@ func (l *L2) ChannelForBank(bankIdx int) int {
 	return (bankIdx / perChannel) % l.dram.Channels()
 }
 
-// Result describes how the L2 handled a request.
-type Result struct {
-	// Hit reports whether the block was present in the bank.
-	Hit bool
-	// Done is the cycle at which the requested data is available at the
-	// bank's port (ready to be sent back across the NoC).
-	Done int64
+// Outcome classifies how the L2 handled a request.
+type Outcome uint8
+
+const (
+	// OutcomeHit: the block was present; Done is the data availability time.
+	OutcomeHit Outcome = iota
+	// OutcomeMiss: a primary miss; an MSHR entry was allocated and the fill
+	// submitted (reads) or the line allocated in place (full-block writes,
+	// for which Done is the absorption time). Read data arrives via a Fill.
+	OutcomeMiss
+	// OutcomeMerged: the block is already being fetched; the request merged
+	// into the in-flight MSHR entry and completes with its Fill.
+	OutcomeMerged
+	// OutcomeBlocked: the bank's MSHR file (or the entry's merge list) is
+	// full; the requester must retry at RetryAt.
+	OutcomeBlocked
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeHit:
+		return "hit"
+	case OutcomeMiss:
+		return "miss"
+	case OutcomeMerged:
+		return "merged"
+	case OutcomeBlocked:
+		return "blocked"
+	default:
+		return fmt.Sprintf("Outcome(%d)", uint8(o))
+	}
 }
 
-// Access presents a request arriving at the L2 at cycle `now`. Reads return
-// the availability time of the data; writes (write-backs from the L1D) are
-// absorbed by the bank and, on a miss, allocate the line without fetching
-// from DRAM (the entire block is being overwritten).
+// Result describes how the L2 handled a request.
+type Result struct {
+	// Outcome classifies the access.
+	Outcome Outcome
+	// Done is the cycle at which the requested data is available at the
+	// bank's port. It is only meaningful for OutcomeHit (and, for writes,
+	// the cycle the write-back was absorbed).
+	Done int64
+	// RetryAt is the cycle at which a blocked request should be retried.
+	RetryAt int64
+}
+
+// Fill reports one completed DRAM fill: the block became visible in the tag
+// store at cycle Done, and every waiter's data is available at the bank port
+// at Done.
+type Fill struct {
+	Bank    int
+	Block   uint64
+	Done    int64
+	Waiters []Waiter
+}
+
+// Access presents a request arriving at the L2 at cycle `now`. Hits return
+// the availability time of the data; read misses allocate or merge into an
+// MSHR entry and complete via a later Fill; writes (write-backs from the
+// L1D) are absorbed by the bank and, on a miss, allocate the line without
+// fetching from DRAM (the entire block is being overwritten).
 func (l *L2) Access(req mem.Request, now int64) Result {
-	l.accesses.Inc()
 	block := req.BlockAddr()
 	b := l.banks[l.BankFor(block)]
+	write := req.Kind == mem.Write
+
+	// Structural hazards are discovered at the bank's input arbitration,
+	// before the request wins the port: a NACKed request costs no port
+	// bandwidth (otherwise retry traffic under a saturated MSHR file would
+	// starve the very fills that resolve it). A read is NACKed when its
+	// merge list is full, or when it needs a fresh MSHR entry and the file
+	// is full.
+	if !write && !b.store.Probe(block) {
+		blocked := false
+		if e, ok := b.mshr[block]; ok {
+			blocked = len(e.waiters) >= l.cfg.MergeWidth
+		} else {
+			blocked = len(b.mshr) >= l.cfg.PendingLimit
+		}
+		if blocked {
+			l.mshrStalls.Inc()
+			return Result{Outcome: OutcomeBlocked, RetryAt: l.retryAt(now)}
+		}
+	}
 
 	// Serialise on the bank port: the bank is pipelined, so an access only
 	// occupies the port for PortOccupancy cycles even though its latency is
@@ -154,61 +281,154 @@ func (l *L2) Access(req mem.Request, now int64) Result {
 	ready := start + int64(l.cfg.LatencyCycles)
 	b.portAt = start + int64(l.cfg.PortOccupancy)
 
-	write := req.Kind == mem.Write
+	l.accesses.Inc()
 	if write {
 		l.writes.Inc()
 	}
 
 	if _, hit := b.store.Touch(block, now, write); hit {
 		l.hits.Inc()
-		return Result{Hit: true, Done: ready}
+		return Result{Outcome: OutcomeHit, Done: ready}
 	}
 
-	// A miss that is already being fetched from DRAM merges with the
+	// A miss on a block that is already being fetched merges with the
 	// in-flight fill.
-	if doneAt, ok := b.pending[block]; ok && doneAt > now {
+	if e, ok := b.mshr[block]; ok {
 		l.mergedFly.Inc()
 		l.hits.Inc() // counts as a hit for miss-rate purposes: no new DRAM access
-		if doneAt > ready {
-			ready = doneAt
+		if write {
+			// The full-block write overwrites the data in flight: the fill
+			// installs the line dirty and the store needs no response.
+			e.dirty = true
+			return Result{Outcome: OutcomeMerged}
 		}
-		return Result{Hit: true, Done: ready}
+		e.waiters = append(e.waiters, Waiter{Req: req, Arrive: now, Ready: ready})
+		return Result{Outcome: OutcomeMerged}
 	}
 
 	l.misses.Inc()
 	if write {
 		// Write-back miss: allocate without fetching (full-block write).
 		l.insert(b, block, req.PC, now, true)
-		return Result{Hit: false, Done: ready}
+		return Result{Outcome: OutcomeMiss, Done: ready}
 	}
 
-	// Read miss: fetch from DRAM, then insert.
-	dramDone := l.dram.Access(block, false, ready)
-	l.insert(b, block, req.PC, dramDone, false)
-	b.pending[block] = dramDone
-	// Garbage-collect stale pending entries opportunistically.
-	if len(b.pending) > l.cfg.PendingLimit {
-		for k, v := range b.pending {
-			if v <= now {
-				delete(b.pending, k)
-			}
-		}
+	// Primary read miss: allocate an MSHR entry.
+	e := &fillEntry{
+		block:   block,
+		pc:      req.PC,
+		readyAt: ready, // the fill leaves for DRAM once the tag lookup completes
+		waiters: []Waiter{{Req: req, Arrive: now, Ready: ready}},
 	}
-	return Result{Hit: false, Done: dramDone}
+	b.mshr[block] = e
+	b.order = append(b.order, block)
+	if _, ok := l.dram.Submit(block, false, ready); ok {
+		e.issued = true
+	}
+	return Result{Outcome: OutcomeMiss}
 }
 
-// insert allocates a block in the bank and writes back any dirty victim to
-// DRAM.
-func (l *L2) insert(b *bank, block, pc uint64, now int64, dirty bool) {
-	evicted, line := b.store.Insert(block, pc, now, dirty, mem.WORM)
+// retryAt picks the retry time of a NACKed request: just after the memory
+// controller's next event (the earliest moment a fill can retire and free
+// the MSHR slot the request is waiting for), or one bank latency out when
+// the controller reports nothing sooner. Always strictly later than now, so
+// retries cannot live-lock the event loop.
+func (l *L2) retryAt(now int64) int64 {
+	if next := l.dram.NextEventAt(); next > now {
+		return next + 1
+	}
+	return now + int64(l.cfg.LatencyCycles)
+}
+
+// insert allocates a block in the bank at cycle `at` and hands any dirty
+// victim to the memory controller (buffering it when the channel queue is
+// full).
+func (l *L2) insert(b *bank, block, pc uint64, at int64, dirty bool) {
+	evicted, line := b.store.Insert(block, pc, at, dirty, mem.WORM)
 	line.Dirty = dirty
 	if evicted.Valid && evicted.Dirty {
 		l.wbToDRAM.Inc()
-		l.dram.Access(evicted.Block, true, now)
+		if _, ok := l.dram.Submit(evicted.Block, true, at); !ok {
+			b.wbq = append(b.wbq, evicted.Block)
+		}
 	}
 }
 
-// Accesses returns the number of requests handled.
+// pump retries work held back by controller back-pressure: buffered dirty
+// write-backs first, then unissued MSHR fills, in allocation order. It
+// reports whether anything new was handed to the controller.
+func (l *L2) pump(now int64) bool {
+	submitted := false
+	for _, b := range l.banks {
+		for len(b.wbq) > 0 {
+			if _, ok := l.dram.Resubmit(b.wbq[0], true, now); !ok {
+				break
+			}
+			b.wbq = slices.Delete(b.wbq, 0, 1)
+			submitted = true
+		}
+		for _, block := range b.order {
+			e := b.mshr[block]
+			if e == nil || e.issued {
+				continue
+			}
+			at := e.readyAt
+			if now > at {
+				at = now
+			}
+			if _, ok := l.dram.Resubmit(block, false, at); !ok {
+				break
+			}
+			e.issued = true
+			submitted = true
+		}
+	}
+	return submitted
+}
+
+// NextEventAt returns the earliest cycle at which the memory side can make
+// progress (-1 when fully idle). Work held back by back-pressure never
+// idles the controller: the queue that rejected it is by definition full.
+func (l *L2) NextEventAt() int64 { return l.dram.NextEventAt() }
+
+// Advance runs the memory controller up to cycle now and returns the fills
+// that completed: each block is inserted into its bank's tag store at its
+// completion time (never earlier — this is the ordering the whole off-chip
+// accounting rests on) and its MSHR entry is released with all merged
+// waiters. Back-pressured fills and write-backs are resubmitted as queue
+// slots free up.
+func (l *L2) Advance(now int64) []Fill {
+	var fills []Fill
+	for {
+		comps := l.dram.Advance(now)
+		for _, c := range comps {
+			if c.Write {
+				continue // write-backs need no upstream action
+			}
+			bankIdx := l.BankFor(c.Addr)
+			b := l.banks[bankIdx]
+			e := b.mshr[c.Addr]
+			if e == nil {
+				continue // a fill raced a Reset; nothing to deliver
+			}
+			delete(b.mshr, c.Addr)
+			if i := slices.Index(b.order, c.Addr); i >= 0 {
+				b.order = slices.Delete(b.order, i, i+1)
+			}
+			l.insert(b, c.Addr, e.pc, c.Done, e.dirty)
+			l.fillsDone.Inc()
+			fills = append(fills, Fill{Bank: bankIdx, Block: c.Addr, Done: c.Done, Waiters: e.waiters})
+		}
+		// Draining completions freed queue slots: resubmit held-back work,
+		// and loop so the controller can issue it at this same event time.
+		if !l.pump(now) {
+			return fills
+		}
+	}
+}
+
+// Accesses returns the number of requests handled (blocked retries count
+// once, when they finally succeed).
 func (l *L2) Accesses() uint64 { return l.accesses.Value() }
 
 // Hits returns the number of L2 hits (including merges with in-flight fills).
@@ -228,7 +448,27 @@ func (l *L2) MissRate() float64 {
 // WritebacksToDRAM returns the number of dirty L2 victims written to DRAM.
 func (l *L2) WritebacksToDRAM() uint64 { return l.wbToDRAM.Value() }
 
-// DRAM exposes the backing DRAM model.
+// MergedInFlight returns the number of requests that merged into an
+// in-flight fill instead of going to DRAM.
+func (l *L2) MergedInFlight() uint64 { return l.mergedFly.Value() }
+
+// MSHRStalls returns the number of accesses rejected because a bank's MSHR
+// file or an entry's merge list was full.
+func (l *L2) MSHRStalls() uint64 { return l.mshrStalls.Value() }
+
+// FillsCompleted returns the number of DRAM fills delivered.
+func (l *L2) FillsCompleted() uint64 { return l.fillsDone.Value() }
+
+// PendingFills returns the number of outstanding MSHR entries across banks.
+func (l *L2) PendingFills() int {
+	n := 0
+	for _, b := range l.banks {
+		n += len(b.mshr)
+	}
+	return n
+}
+
+// DRAM exposes the backing memory controller.
 func (l *L2) DRAM() *dram.DRAM { return l.dram }
 
 // Reset clears every bank and statistic (the DRAM model is reset separately).
@@ -236,7 +476,9 @@ func (l *L2) Reset() {
 	for _, b := range l.banks {
 		b.store.Reset()
 		b.portAt = 0
-		b.pending = make(map[uint64]int64)
+		b.mshr = make(map[uint64]*fillEntry)
+		b.order = nil
+		b.wbq = nil
 	}
 	l.accesses.Reset()
 	l.hits.Reset()
@@ -244,9 +486,12 @@ func (l *L2) Reset() {
 	l.writes.Reset()
 	l.wbToDRAM.Reset()
 	l.mergedFly.Reset()
+	l.mshrStalls.Reset()
+	l.fillsDone.Reset()
 }
 
 // String describes the configuration.
 func (l *L2) String() string {
-	return fmt.Sprintf("L2{%d KB, %d banks, %d-way, %d-cycle}", l.cfg.TotalKB, l.cfg.Banks, l.cfg.Ways, l.cfg.LatencyCycles)
+	return fmt.Sprintf("L2{%d KB, %d banks, %d-way, %d-cycle, %d MSHRs/bank}",
+		l.cfg.TotalKB, l.cfg.Banks, l.cfg.Ways, l.cfg.LatencyCycles, l.cfg.PendingLimit)
 }

@@ -73,6 +73,10 @@ type Network struct {
 	stages int
 	// links[direction][stage][router*radix+port]
 	links [2][][]link
+	// reachable[direction] is the number of links the routing function can
+	// actually use in that direction; the remaining router ports are
+	// unwired and must not dilute utilisation statistics.
+	reachable [2]int
 
 	reqPackets  stats.Counter
 	respPackets stats.Counter
@@ -107,8 +111,39 @@ func New(cfg Config) *Network {
 			n.links[d][s] = make([]link, routersPerStage*cfg.Radix)
 		}
 	}
+	n.countReachableLinks()
 	return n
 }
+
+// countReachableLinks enumerates every (src, dst) endpoint pair of each
+// direction and marks the links its deterministic route uses. Ports no route
+// ever crosses are unwired in a real butterfly, so LinkUtilisation divides by
+// the reachable count only.
+func (n *Network) countReachableLinks() {
+	srcs := [2]int{n.cfg.SMNodes, n.cfg.MemNodes} // request: SM -> bank
+	dsts := [2]int{n.cfg.MemNodes, n.cfg.SMNodes} // response: bank -> SM
+	for d := 0; d < 2; d++ {
+		used := make([]map[int]bool, n.stages)
+		for s := range used {
+			used[s] = make(map[int]bool)
+		}
+		for src := 0; src < srcs[d]; src++ {
+			for dst := 0; dst < dsts[d]; dst++ {
+				for s, li := range n.pathLinks(src, dst) {
+					used[s][li] = true
+				}
+			}
+		}
+		n.reachable[d] = 0
+		for s := range used {
+			n.reachable[d] += len(used[s])
+		}
+	}
+}
+
+// ReachableLinks returns the number of links the routing function can use in
+// the given direction.
+func (n *Network) ReachableLinks(dir Direction) int { return n.reachable[dir] }
 
 // Config returns the effective configuration.
 func (n *Network) Config() Config { return n.cfg }
@@ -191,7 +226,7 @@ func (n *Network) SendResponse(bank, sm, bytes int, now int64) int64 {
 // ZeroLoadLatency returns the latency of a packet of the given size through
 // an idle network.
 func (n *Network) ZeroLoadLatency(bytes int) int64 {
-	return int64(n.stages)*(n.flits(bytes)+int64(n.cfg.HopLatency)) - 0
+	return int64(n.stages) * (n.flits(bytes) + int64(n.cfg.HopLatency))
 }
 
 // Packets returns the number of request and response packets carried.
@@ -211,22 +246,22 @@ func (n *Network) AverageLatency() float64 {
 	return float64(n.totalLat.Value()) / float64(total)
 }
 
-// LinkUtilisation returns the mean busy fraction of all links up to the given
-// cycle.
+// LinkUtilisation returns the mean busy fraction, up to the given cycle, of
+// the links the routing function can actually reach (unwired router ports
+// are excluded from the denominator).
 func (n *Network) LinkUtilisation(now int64) float64 {
 	if now <= 0 {
 		return 0
 	}
 	var busy uint64
-	var count int
 	for d := 0; d < 2; d++ {
 		for s := range n.links[d] {
 			for i := range n.links[d][s] {
 				busy += n.links[d][s][i].busyCyc
-				count++
 			}
 		}
 	}
+	count := n.reachable[0] + n.reachable[1]
 	if count == 0 {
 		return 0
 	}

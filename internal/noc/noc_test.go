@@ -160,6 +160,40 @@ func TestConfigClamping(t *testing.T) {
 	}
 }
 
+// TestHandComputedTwoStageButterfly pins ZeroLoadLatency and the
+// reachable-link accounting against a fully hand-computed 2-stage butterfly:
+// 8 SMs + 8 banks on radix-4 routers (2 routers per stage, 8 ports each).
+func TestHandComputedTwoStageButterfly(t *testing.T) {
+	n := New(Config{SMNodes: 8, MemNodes: 8, Radix: 4, HopLatency: 4, FlitBytes: 32})
+	if n.Stages() != 2 {
+		t.Fatalf("8 endpoints on radix-4 need exactly 2 stages, got %d", n.Stages())
+	}
+	// 64 bytes = 2 flits; each of the 2 stages costs serialisation (2) plus
+	// the hop latency (4): 2 * (2 + 4) = 12 cycles.
+	if got := n.ZeroLoadLatency(64); got != 12 {
+		t.Errorf("ZeroLoadLatency(64) = %d, want 12", got)
+	}
+	// Routing: stage 0 reaches all 2 routers x 4 ports = 8 links; stage 1's
+	// router is the stage-0 output port (0..3) folded mod 2 routers, and its
+	// port is dst/4 (0 or 1), so only links {0,1,4,5} — 4 of 8 — are wired.
+	// 12 reachable links per direction.
+	for _, dir := range []Direction{RequestNet, ResponseNet} {
+		if got := n.ReachableLinks(dir); got != 12 {
+			t.Errorf("ReachableLinks(%d) = %d, want 12", dir, got)
+		}
+	}
+	// One 32-byte packet (1 flit) busies one link per stage for 1 cycle:
+	// utilisation over 10 cycles = 2 busy-cycles / 24 links / 10 cycles.
+	arrive := n.SendRequest(0, 0, 32, 0)
+	if arrive != 10 {
+		t.Fatalf("1-flit packet should deliver at cycle 10 (2 stages x (1+4)), got %d", arrive)
+	}
+	want := 2.0 / 24.0 / 10.0
+	if got := n.LinkUtilisation(10); got != want {
+		t.Errorf("LinkUtilisation(10) = %v, want %v", got, want)
+	}
+}
+
 func TestVoltaStyleWiderLinksAreFaster(t *testing.T) {
 	narrow := New(Config{FlitBytes: 32})
 	wide := New(Config{FlitBytes: 64})

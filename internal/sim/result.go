@@ -54,11 +54,19 @@ type Result struct {
 	// Memory-side statistics.
 	L2MissRate    float64
 	L2Accesses    uint64
+	L2MergedFills uint64
+	L2MSHRStalls  uint64
 	DRAMAccesses  uint64
 	NoCRequests   uint64
 	NoCResponses  uint64
 	AvgFillNoC    float64
 	AvgFillMemory float64
+
+	// Memory-controller statistics (backend sweeps).
+	MemBackend      string
+	DRAMRowHitRate  float64
+	DRAMQueueStalls uint64
+	DRAMEnergyNJ    float64
 
 	// Bank traffic for the energy model.
 	SRAMReads, SRAMWrites uint64
@@ -128,20 +136,30 @@ func (s *Simulator) collect() Result {
 		r.IPC = float64(r.Instructions) / float64(r.Cycles)
 		r.OffChipFraction = float64(memWait) / float64(totalCycles)
 	}
-	lat := s.nocCycles + s.memCycles
+	// The NoC share can go slightly negative when a run aborts at MaxCycles
+	// with back-pressure waits moved to the memory share but their fills
+	// still in flight; clamp rather than report a negative fraction.
+	noc := max(s.nocCycles, 0)
+	lat := noc + s.memCycles
 	if lat > 0 {
-		r.NetworkFraction = r.OffChipFraction * float64(s.nocCycles) / float64(lat)
+		r.NetworkFraction = r.OffChipFraction * float64(noc) / float64(lat)
 		r.DRAMFraction = r.OffChipFraction * float64(s.memCycles) / float64(lat)
 	}
 	if s.fills > 0 {
-		r.AvgFillNoC = float64(s.nocCycles) / float64(s.fills)
+		r.AvgFillNoC = float64(noc) / float64(s.fills)
 		r.AvgFillMemory = float64(s.memCycles) / float64(s.fills)
 	}
 
 	r.L2MissRate = s.l2.MissRate()
 	r.L2Accesses = s.l2.Accesses()
+	r.L2MergedFills = s.l2.MergedInFlight()
+	r.L2MSHRStalls = s.l2.MSHRStalls()
 	r.DRAMAccesses = s.dram.Accesses()
 	r.NoCRequests, r.NoCResponses = s.net.Packets()
+	r.MemBackend = s.dram.BackendName()
+	r.DRAMRowHitRate = s.dram.RowHitRate()
+	r.DRAMQueueStalls = s.dram.QueueStalls()
+	r.DRAMEnergyNJ = s.dram.EnergyNJ()
 
 	for _, sm := range s.sms {
 		for _, b := range sm.L1D().Banks() {
@@ -176,7 +194,9 @@ func (r Result) String() string {
 		r.STTWriteStalls, r.TagSearchStalls, r.L1D.MSHRStallEvents)
 	fmt.Fprintf(&b, "  off-chip fraction=%.2f (network %.2f, memory %.2f)\n",
 		r.OffChipFraction, r.NetworkFraction, r.DRAMFraction)
-	fmt.Fprintf(&b, "  L2 missRate=%.3f DRAM accesses=%d\n", r.L2MissRate, r.DRAMAccesses)
+	fmt.Fprintf(&b, "  L2 missRate=%.3f merged=%d mshrStalls=%d\n", r.L2MissRate, r.L2MergedFills, r.L2MSHRStalls)
+	fmt.Fprintf(&b, "  DRAM[%s]: accesses=%d rowHit=%.2f queueStalls=%d energy=%.1fuJ\n",
+		r.MemBackend, r.DRAMAccesses, r.DRAMRowHitRate, r.DRAMQueueStalls, r.DRAMEnergyNJ/1000)
 	if r.PredTrue+r.PredFalse+r.PredNeutral > 0 {
 		fmt.Fprintf(&b, "  predictor: true=%.2f neutral=%.2f false=%.2f\n", r.PredTrue, r.PredNeutral, r.PredFalse)
 	}

@@ -58,10 +58,12 @@ func (o Options) WithDefaults() Options {
 	return o
 }
 
-// event is a memory-side event: a request arriving at an L2 bank or a
-// response arriving back at an SM.
+// event is a memory-side event: a request arriving at an L2 bank, a response
+// arriving back at an SM, or the memory controller reaching its next
+// scheduling point (a DRAM command becoming issuable or a burst completing).
 type event struct {
 	at    int64
+	seq   uint64
 	kind  eventKind
 	sm    int
 	bank  int
@@ -74,13 +76,20 @@ type eventKind uint8
 const (
 	evReqAtL2 eventKind = iota
 	evRespAtSM
+	evMemTick
 )
 
-// eventQueue is a min-heap ordered by event time.
+// eventQueue is a min-heap ordered by event time, with the scheduling
+// sequence number as a deterministic tie-break.
 type eventQueue []event
 
-func (q eventQueue) Len() int            { return len(q) }
-func (q eventQueue) Less(i, j int) bool  { return q[i].at < q[j].at }
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
 func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
 func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
 func (q *eventQueue) Pop() interface{} {
@@ -102,8 +111,12 @@ type Simulator struct {
 	l2   *l2.L2
 	dram *dram.DRAM
 
-	events eventQueue
-	now    int64
+	events   eventQueue
+	eventSeq uint64
+	now      int64
+	// memTickAt is the earliest armed evMemTick (-1 when none is armed); it
+	// keeps the heap free of redundant controller wake-ups.
+	memTickAt int64
 
 	// Latency decomposition of completed fills (Figure 1).
 	nocCycles int64
@@ -141,12 +154,20 @@ func New(gpuCfg config.GPUConfig, profile trace.Profile, opts Options) (*Simulat
 		l2KB = max(l2Banks, int(float64(gpuCfg.L2KBTotal)*scale+0.5))
 	}
 
+	if _, err := dram.BackendByName(gpuCfg.MemBackend); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
 	s.dram = dram.New(dram.Config{
-		Channels: channels,
-		TCL:      gpuCfg.TCL,
-		TRCD:     gpuCfg.TRCD,
-		TRP:      gpuCfg.TRP,
-		TRAS:     gpuCfg.TRAS,
+		Channels:        channels,
+		BanksPerChannel: gpuCfg.DRAMBanksPerChannel,
+		RowBytes:        gpuCfg.DRAMRowBytes,
+		TCL:             gpuCfg.TCL,
+		TRCD:            gpuCfg.TRCD,
+		TRP:             gpuCfg.TRP,
+		TRAS:            gpuCfg.TRAS,
+		BurstCycles:     gpuCfg.DRAMBurstCycles,
+		QueueDepth:      gpuCfg.DRAMQueueDepth,
+		Backend:         gpuCfg.MemBackend,
 	})
 	s.l2 = l2.New(l2.Config{
 		Banks:         l2Banks,
@@ -171,6 +192,7 @@ func New(gpuCfg config.GPUConfig, profile trace.Profile, opts Options) (*Simulat
 		s.sms[i] = gpu.NewSM(i, gpuCfg.WarpsPerSM, opts.InstructionsPerWarp, kernel, l1d)
 	}
 	heap.Init(&s.events)
+	s.memTickAt = -1
 	return s, nil
 }
 
@@ -190,7 +212,40 @@ func (s *Simulator) Network() *noc.Network { return s.net }
 func (s *Simulator) Now() int64 { return s.now }
 
 // schedule pushes an event onto the queue.
-func (s *Simulator) schedule(e event) { heap.Push(&s.events, e) }
+func (s *Simulator) schedule(e event) {
+	s.eventSeq++
+	e.seq = s.eventSeq
+	heap.Push(&s.events, e)
+}
+
+// armMemTick makes sure an evMemTick is scheduled at the memory side's next
+// event time (but never before `now`). Redundant wake-ups — an already armed
+// earlier tick, or an idle controller — schedule nothing; a stale later tick
+// left in the heap fires as a harmless no-op.
+func (s *Simulator) armMemTick(now int64) {
+	next := s.l2.NextEventAt()
+	if next < 0 {
+		return
+	}
+	if next < now {
+		next = now
+	}
+	if s.memTickAt >= 0 && s.memTickAt <= next {
+		return
+	}
+	s.memTickAt = next
+	s.schedule(event{at: next, kind: evMemTick})
+}
+
+// respond schedules the NoC response of one completed read and charges the
+// fill-latency decomposition: the request spent arriveAtL2..done on the
+// memory side and the rest of its life on the interconnect.
+func (s *Simulator) respond(bank, sm int, block uint64, issue, arriveAtL2, done int64) {
+	arrive := s.net.SendResponse(bank, sm, mem.BlockSize, done)
+	s.nocCycles += (arriveAtL2 - issue) + (arrive - done)
+	s.memCycles += done - arriveAtL2
+	s.schedule(event{at: arrive, kind: evRespAtSM, sm: sm, block: block})
+}
 
 // processEvents handles every event due at or before the current cycle.
 func (s *Simulator) processEvents() {
@@ -199,14 +254,34 @@ func (s *Simulator) processEvents() {
 		switch e.kind {
 		case evReqAtL2:
 			res := s.l2.Access(e.req, e.at)
-			if e.req.Kind == mem.Write {
-				// Write-backs need no response.
-				continue
+			switch res.Outcome {
+			case l2.OutcomeHit:
+				if e.req.Kind != mem.Write { // write-backs need no response
+					s.respond(e.bank, e.sm, e.req.BlockAddr(), e.req.Issue, e.at, res.Done)
+				}
+			case l2.OutcomeMiss, l2.OutcomeMerged:
+				// Writes are absorbed; read data arrives with the fill.
+			case l2.OutcomeBlocked:
+				// MSHR back-pressure: retry the access later. The wait is
+				// memory-side time, but the retry makes the waiter's L2
+				// arrival time the *last* attempt, which respond() would
+				// charge to the NoC share — move it to the memory share
+				// here so the Figure 1 decomposition stays faithful.
+				s.memCycles += res.RetryAt - e.at
+				s.nocCycles -= res.RetryAt - e.at
+				s.schedule(event{at: res.RetryAt, kind: evReqAtL2, sm: e.sm, bank: e.bank, req: e.req})
 			}
-			arrive := s.net.SendResponse(e.bank, e.sm, mem.BlockSize, res.Done)
-			s.nocCycles += (e.at - e.req.Issue) + (arrive - res.Done)
-			s.memCycles += res.Done - e.at
-			s.schedule(event{at: arrive, kind: evRespAtSM, sm: e.sm, block: e.req.BlockAddr()})
+			s.armMemTick(e.at)
+		case evMemTick:
+			if s.memTickAt == e.at {
+				s.memTickAt = -1
+			}
+			for _, fill := range s.l2.Advance(e.at) {
+				for _, w := range fill.Waiters {
+					s.respond(fill.Bank, w.Req.SM, fill.Block, w.Req.Issue, w.Arrive, w.DoneAt(fill.Done))
+				}
+			}
+			s.armMemTick(e.at)
 		case evRespAtSM:
 			s.fills++
 			s.sms[e.sm].DeliverFill(e.block, e.at)
@@ -231,6 +306,7 @@ func (s *Simulator) drainOutgoing() {
 			if req.Issue == 0 {
 				req.Issue = s.now
 			}
+			req.SM = sm.ID
 			arrive := s.net.SendRequest(sm.ID, bank, bytes, s.now)
 			s.schedule(event{at: arrive, kind: evReqAtL2, sm: sm.ID, bank: bank, req: req})
 		}

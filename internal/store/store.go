@@ -36,9 +36,14 @@ import (
 )
 
 // SchemaVersion versions both the key material and the result envelope. Bump
-// it whenever the encoding of either changes incompatibly: old entries then
-// read as misses and are recomputed, never misdecoded.
-const SchemaVersion = 1
+// it whenever the encoding of either changes incompatibly — or when a
+// timing-affecting simulator fix invalidates previously computed results:
+// old entries then read as misses and are recomputed, never misdecoded.
+//
+// v2: the L2 miss path became MSHR-based and event-driven (fills land in the
+// tag store at DRAM completion time, FR-FCFS scheduling, pluggable memory
+// backends); every v1 result carries the old optimistic off-chip timing.
+const SchemaVersion = 2
 
 // keyMaterial is everything that determines a simulation's outcome.
 type keyMaterial struct {
@@ -50,11 +55,13 @@ type keyMaterial struct {
 
 // Key returns the content-addressed store key of a simulation point: the
 // SHA-256 hex digest of the canonical JSON of the key material. Options are
-// canonicalised with their defaults applied first.
+// canonicalised with their defaults applied first, and the GPU's off-chip
+// memory fields are resolved the way the controller resolves them, so two
+// configs describing the same simulation address the same stored result.
 func Key(gpu config.GPUConfig, prof trace.Profile, opts sim.Options) (string, error) {
 	raw, err := json.Marshal(keyMaterial{
 		Schema:  SchemaVersion,
-		GPU:     gpu,
+		GPU:     gpu.WithMemDefaults(),
 		Profile: prof,
 		Options: opts.WithDefaults(),
 	})

@@ -291,3 +291,47 @@ func TestTieredBackfillsFasterTiers(t *testing.T) {
 		t.Errorf("unknown key should miss every tier")
 	}
 }
+
+func TestKeyCanonicalisesMemoryConfig(t *testing.T) {
+	prof, _ := trace.ProfileByName("ATAX")
+	opts := sim.Options{}
+
+	// MemBackend "" resolves to the GDDR5 default; zero DRAM geometry
+	// resolves to the controller defaults — both must address the same
+	// stored result as the fully explicit Fermi config.
+	explicit := config.FermiGPU(config.NewL1DConfig(config.DyFUSE))
+	implicit := explicit
+	implicit.MemBackend = ""
+	implicit.DRAMBanksPerChannel = 0
+	implicit.DRAMRowBytes = 0
+	implicit.DRAMBurstCycles = 0
+	implicit.DRAMQueueDepth = 0
+
+	ke, err := Key(explicit, prof, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ki, err := Key(implicit, prof, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ke != ki {
+		t.Errorf("implicit and explicit memory defaults must share a key:\n%s\n%s", ke, ki)
+	}
+
+	// Timing fields a non-baseline backend ignores must not split keys.
+	hbmA := explicit
+	hbmA.MemBackend = "HBM2"
+	hbmB := hbmA
+	hbmB.TCL = 99
+	ka, _ := Key(hbmA, prof, opts)
+	kb, _ := Key(hbmB, prof, opts)
+	if ka != kb {
+		t.Errorf("backend-ignored timing fields must not change the key")
+	}
+
+	// A different backend is a different simulation.
+	if ka == ke {
+		t.Errorf("backend must be part of the key")
+	}
+}
