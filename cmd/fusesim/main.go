@@ -13,7 +13,12 @@
 //	fusesim -config L1-SRAM -workload GEMM -sms 4 -instructions 2000
 //	fusesim -config L1-SRAM,Dy-FUSE -workload ATAX,GEMM -parallel 4
 //	fusesim -config Dy-FUSE -workload ATAX -backend GDDR5,HBM2,STT-MRAM
+//	fusesim -config Dy-FUSE -workload ATAX -cpuprofile cpu.pprof -memprofile mem.pprof
 //	fusesim -list
+//
+// The -cpuprofile/-memprofile flags write pprof profiles of the batch, so
+// performance work on the cycle engine starts from a measured profile
+// (`go tool pprof`) rather than a guess.
 package main
 
 import (
@@ -21,6 +26,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"fuse/internal/config"
@@ -46,8 +53,29 @@ func main() {
 		parallel     = flag.Int("parallel", 0, "number of concurrent simulations (0 = GOMAXPROCS)")
 		timeout      = flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
 		storeDir     = flag.String("store", "", "persistent result-store directory shared with fusetables/fuseserve (empty = no store)")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the simulation batch to this file")
+		memProfile   = flag.String("memprofile", "", "write an allocation profile (taken after the batch) to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatalf("-cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("-cpuprofile: %v", err)
+		}
+		// fatalf exits without running defers; flush there too so an aborted
+		// run (e.g. -timeout expiring mid-batch — exactly the case worth
+		// profiling) still leaves a readable profile behind.
+		flushCPUProfile = pprof.StopCPUProfile
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer writeMemProfile(*memProfile)
+	}
 
 	if *list {
 		fmt.Println("L1D configurations:")
@@ -174,7 +202,25 @@ func splitList(s string) []string {
 	return out
 }
 
-func fatalf(format string, args ...interface{}) {
+// flushCPUProfile is set while a CPU profile is being recorded so that
+// fatalf can flush it before exiting (os.Exit skips deferred calls).
+var flushCPUProfile = func() {}
+
+// writeMemProfile records an allocation profile after a GC settles the heap.
+func writeMemProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("-memprofile: %v", err)
+	}
+	defer f.Close()
+	runtime.GC() // settle the heap so the profile shows live + cumulative allocations
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fatalf("-memprofile: %v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "fusesim: "+format+"\n", args...)
+	flushCPUProfile()
 	os.Exit(1)
 }

@@ -102,6 +102,25 @@ func (s *replacementState) remove(way int) {
 	}
 }
 
+// victimAll selects the way to evict when every way of the set is a
+// candidate — the common case on a full-set insert. It is victim() minus the
+// candidate bookkeeping (no subset map, no allocation): for LRU/FIFO the
+// least-recent entry of the order list is by construction a valid way, and
+// for pseudo-LRU the preferred leaf needs no snapping.
+func (s *replacementState) victimAll() int {
+	switch s.kind {
+	case LRU, FIFO:
+		if len(s.order) > 0 {
+			return s.order[0]
+		}
+		return 0
+	case PseudoLRU:
+		return s.treeLeaf()
+	default:
+		return 0
+	}
+}
+
 // victim selects the way to evict among the given candidate ways (all valid).
 func (s *replacementState) victim(validWays []int) int {
 	if len(validWays) == 0 {
@@ -154,12 +173,9 @@ func (s *replacementState) touchTree(way int) {
 	}
 }
 
-// treeVictim follows the pseudo-LRU bits to a leaf, then snaps to the nearest
-// candidate way.
-func (s *replacementState) treeVictim(validWays []int) int {
-	if s.ways <= 1 {
-		return validWays[0]
-	}
+// treeLeaf follows the pseudo-LRU bits from the root to the preferred victim
+// leaf.
+func (s *replacementState) treeLeaf() int {
 	node := 1
 	lo := 0
 	span := s.ways
@@ -177,6 +193,16 @@ func (s *replacementState) treeVictim(validWays []int) int {
 		}
 		span = half
 	}
+	return lo
+}
+
+// treeVictim follows the pseudo-LRU bits to a leaf, then snaps to the nearest
+// candidate way.
+func (s *replacementState) treeVictim(validWays []int) int {
+	if s.ways <= 1 {
+		return validWays[0]
+	}
+	lo := s.treeLeaf()
 	// lo is the preferred victim; snap to the closest candidate.
 	best := validWays[0]
 	bestDist := abs(best - lo)

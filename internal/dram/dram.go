@@ -125,6 +125,8 @@ type DRAM struct {
 	energy   Energy
 	channels []channelState
 	nextSeq  uint64
+	// compBuf is the reusable backing array of Advance's completion slice.
+	compBuf []Completion
 
 	accesses  stats.Counter
 	rowHits   stats.Counter
@@ -361,10 +363,12 @@ func (d *DRAM) service(ch *channelState, r request, now int64) int64 {
 // Advance runs the controller up to cycle now: it retires every burst that
 // completed at or before now and issues every request whose constraints are
 // satisfied, in FR-FCFS order. Completions are returned sorted by completion
-// time (ties by submission order). Callers re-arm their event loop from
-// NextEventAt afterwards.
+// time (ties by submission order); the returned slice is valid only until
+// the next Advance call. Callers re-arm their event loop from NextEventAt
+// afterwards.
 func (d *DRAM) Advance(now int64) []Completion {
-	var out []Completion
+	out := d.compBuf[:0]
+	defer func() { d.compBuf = out[:0] }()
 	for i := range d.channels {
 		ch := &d.channels[i]
 		kept := ch.flights[:0]
@@ -476,6 +480,7 @@ func (d *DRAM) Reset() {
 		d.channels[i].flights = nil
 	}
 	d.nextSeq = 0
+	d.compBuf = nil
 	d.accesses.Reset()
 	d.rowHits.Reset()
 	d.rowMisses.Reset()

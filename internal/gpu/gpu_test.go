@@ -177,6 +177,34 @@ func TestSMNextWakeAt(t *testing.T) {
 	}
 }
 
+func TestSMNextSelfEventAt(t *testing.T) {
+	sm := newTestSM(config.L1SRAM, 2, 10, "pathf")
+	// Fresh SM: every warp is ready, so the SM can progress right now.
+	if got := sm.NextSelfEventAt(0); got != 0 {
+		t.Errorf("NextSelfEventAt(0) = %d, want 0 (ready warps)", got)
+	}
+	// Warp 0 in a timed wait, warp 1 still ready: progress is still "now".
+	sm.warps[0].BlockFor(0, 20)
+	if got := sm.NextSelfEventAt(3); got != 3 {
+		t.Errorf("NextSelfEventAt = %d, want 3 (warp 1 ready)", got)
+	}
+	// Both warps waiting: the earliest timed wake-up bounds the sleep.
+	sm.warps[1].BlockFor(0, 8)
+	if got := sm.NextSelfEventAt(3); got != 8 {
+		t.Errorf("NextSelfEventAt = %d, want 8 (earliest WakeAt)", got)
+	}
+	// A stale timed wait (WakeAt already passed) means ready now.
+	if got := sm.NextSelfEventAt(9); got != 9 {
+		t.Errorf("NextSelfEventAt = %d, want 9 (stale wait is ready)", got)
+	}
+	// Both warps blocked on data: nothing to do until a fill arrives.
+	sm.warps[0].BlockOnData(0x1000)
+	sm.warps[1].BlockOnData(0x2000)
+	if got := sm.NextSelfEventAt(10); got != -1 {
+		t.Errorf("NextSelfEventAt = %d, want -1 (data-blocked SM sleeps)", got)
+	}
+}
+
 func TestSMGreedyThenOldestPrefersSameWarp(t *testing.T) {
 	sm := newTestSM(config.L1SRAM, 4, 1000, "pathf") // pathf is compute-bound: mostly ALU
 	sm.Cycle(0)

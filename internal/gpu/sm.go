@@ -44,11 +44,16 @@ type SM struct {
 	l1d    core.L1D
 
 	// pending holds, per warp, the memory instruction that was rejected by
-	// the L1D (to be retried), if any.
-	pending []*trace.Instruction
+	// the L1D (to be retried); pendingSet marks the slots that are live.
+	// Storing values rather than pointers keeps the retry path off the heap.
+	pending    []trace.Instruction
+	pendingSet []bool
 
 	// waiting maps an outstanding block address to the warps blocked on it.
 	waiting map[uint64][]int
+	// idFree recycles the waiter-ID slices that DeliverFill releases, so the
+	// steady state of a memory-bound run allocates no per-miss slices.
+	idFree [][]int
 
 	// greedyWarp is the warp the GTO scheduler sticks with until it stalls.
 	greedyWarp int
@@ -64,11 +69,12 @@ func NewSM(id, warps int, instrPerWarp uint64, kernel *trace.Kernel, l1d core.L1
 		warps = 1
 	}
 	sm := &SM{
-		ID:      id,
-		kernel:  kernel,
-		l1d:     l1d,
-		waiting: make(map[uint64][]int),
-		pending: make([]*trace.Instruction, warps),
+		ID:         id,
+		kernel:     kernel,
+		l1d:        l1d,
+		waiting:    make(map[uint64][]int),
+		pending:    make([]trace.Instruction, warps),
+		pendingSet: make([]bool, warps),
 	}
 	sm.warps = make([]*Warp, warps)
 	for i := range sm.warps {
@@ -124,6 +130,35 @@ func (sm *SM) HasReadyWarp(now int64) bool {
 	return false
 }
 
+// NextSelfEventAt returns the earliest cycle >= now at which the SM can make
+// progress without external input: a warp that can issue (possibly right
+// now), a timed warp wake-up, or the L1D's internal machinery retiring
+// background work. It returns -1 when every live warp is blocked on an
+// outstanding fill and the cache is idle — the SM then sleeps until the
+// simulator delivers a fill. The sparse cycle engine schedules SM wake-ups
+// from this bound; it must never be later than the first cycle at which
+// cycling the SM would do real work, or skipped cycles would change timing.
+func (sm *SM) NextSelfEventAt(now int64) int64 {
+	next := int64(-1)
+	for _, w := range sm.warps {
+		switch w.State {
+		case WarpReady:
+			return now
+		case WarpWaiting:
+			if w.WakeAt <= now {
+				return now
+			}
+			if next < 0 || w.WakeAt < next {
+				next = w.WakeAt
+			}
+		}
+	}
+	if l1 := sm.l1d.NextInternalEventAt(now); l1 >= 0 && (next < 0 || l1 < next) {
+		next = l1
+	}
+	return next
+}
+
 // pickWarp implements the greedy-then-oldest scheduling policy: keep issuing
 // from the current warp while it is ready, otherwise fall back to the oldest
 // (lowest last-issue time) ready warp.
@@ -163,13 +198,12 @@ func (sm *SM) Cycle(now int64) {
 	}
 
 	ins := sm.pending[w.ID]
-	if ins == nil {
-		next := sm.kernel.Next(w.ID)
-		ins = &next
+	if !sm.pendingSet[w.ID] {
+		ins = sm.kernel.Next(w.ID)
 	}
 
 	if !ins.IsMem {
-		sm.pending[w.ID] = nil
+		sm.pendingSet[w.ID] = false
 		w.lastIssue = now
 		w.RetireOne()
 		sm.stats.Issued++
@@ -195,13 +229,14 @@ func (sm *SM) Cycle(now int64) {
 		// effect, back-pressure from the off-chip memory system (MSHR or
 		// queue full), so it also counts toward the off-chip wait time.
 		sm.pending[w.ID] = ins
+		sm.pendingSet[w.ID] = true
 		sm.stats.L1DStallCycles++
 		if len(sm.waiting) > 0 {
 			sm.stats.MemWaitCycles++
 		}
 		return
 	case core.OutcomeHit:
-		sm.pending[w.ID] = nil
+		sm.pendingSet[w.ID] = false
 		w.lastIssue = now
 		w.RetireOne()
 		sm.stats.Issued++
@@ -210,7 +245,7 @@ func (sm *SM) Cycle(now int64) {
 			w.BlockFor(now, res.Latency)
 		}
 	case core.OutcomeMiss, core.OutcomeMissMerged, core.OutcomeBypass:
-		sm.pending[w.ID] = nil
+		sm.pendingSet[w.ID] = false
 		w.lastIssue = now
 		w.RetireOne()
 		sm.stats.Issued++
@@ -218,7 +253,12 @@ func (sm *SM) Cycle(now int64) {
 		block := req.BlockAddr()
 		if !w.Done() {
 			w.BlockOnData(block)
-			sm.waiting[block] = append(sm.waiting[block], w.ID)
+			ids, ok := sm.waiting[block]
+			if !ok && len(sm.idFree) > 0 {
+				ids = sm.idFree[len(sm.idFree)-1]
+				sm.idFree = sm.idFree[:len(sm.idFree)-1]
+			}
+			sm.waiting[block] = append(ids, w.ID)
 		}
 	}
 }
@@ -230,25 +270,30 @@ func (sm *SM) PopOutgoing() (mem.Request, bool) { return sm.l1d.PopOutgoing() }
 // was blocked on it.
 func (sm *SM) DeliverFill(block uint64, now int64) int {
 	woken := sm.l1d.Fill(block, now)
-	ids := sm.waiting[block]
+	ids, ok := sm.waiting[block]
 	delete(sm.waiting, block)
 	for _, id := range ids {
 		sm.warps[id].Wake()
+	}
+	n := len(ids)
+	if ok {
+		sm.idFree = append(sm.idFree, ids[:0])
 	}
 	// Warps recorded in the MSHR (merged requests) may belong to this SM as
 	// well; the waiting map already covers them, so the returned slice is
 	// only used for its length (diagnostics).
 	_ = woken
-	return len(ids)
+	return n
 }
 
 // Reset restores the SM to its initial state, keeping the kernel position.
 func (sm *SM) Reset() {
 	for i, w := range sm.warps {
 		*w = Warp{ID: i, Budget: w.Budget}
-		sm.pending[i] = nil
+		sm.pendingSet[i] = false
 	}
 	sm.waiting = make(map[uint64][]int)
+	sm.idFree = nil
 	sm.greedyWarp = 0
 	sm.stats = SMStats{}
 	sm.l1d.Reset()

@@ -128,6 +128,15 @@ type L2 struct {
 	banks []*bank
 	dram  *dram.DRAM
 
+	// fillBuf is the reusable backing array of Advance's result slice.
+	fillBuf []Fill
+	// entryPool recycles released MSHR entries (with their waiter slices),
+	// so a long memory-bound run stops allocating per miss. Entries retire
+	// through `retired` first: a delivered entry's waiters alias the Fill
+	// handed to the caller, so it only becomes reusable at the next Advance.
+	entryPool []*fillEntry
+	retired   []*fillEntry
+
 	accesses   stats.Counter
 	hits       stats.Counter
 	misses     stats.Counter
@@ -313,13 +322,19 @@ func (l *L2) Access(req mem.Request, now int64) Result {
 		return Result{Outcome: OutcomeMiss, Done: ready}
 	}
 
-	// Primary read miss: allocate an MSHR entry.
-	e := &fillEntry{
-		block:   block,
-		pc:      req.PC,
-		readyAt: ready, // the fill leaves for DRAM once the tag lookup completes
-		waiters: []Waiter{{Req: req, Arrive: now, Ready: ready}},
+	// Primary read miss: allocate an MSHR entry (recycled when possible).
+	var e *fillEntry
+	if n := len(l.entryPool); n > 0 {
+		e = l.entryPool[n-1]
+		l.entryPool = l.entryPool[:n-1]
+		*e = fillEntry{waiters: e.waiters[:0]}
+	} else {
+		e = &fillEntry{}
 	}
+	e.block = block
+	e.pc = req.PC
+	e.readyAt = ready // the fill leaves for DRAM once the tag lookup completes
+	e.waiters = append(e.waiters, Waiter{Req: req, Arrive: now, Ready: ready})
 	b.mshr[block] = e
 	b.order = append(b.order, block)
 	if _, ok := l.dram.Submit(block, false, ready); ok {
@@ -396,9 +411,17 @@ func (l *L2) NextEventAt() int64 { return l.dram.NextEventAt() }
 // completion time (never earlier — this is the ordering the whole off-chip
 // accounting rests on) and its MSHR entry is released with all merged
 // waiters. Back-pressured fills and write-backs are resubmitted as queue
-// slots free up.
+// slots free up. The returned slice (and the waiter slices it carries) is
+// valid only until the next Advance call.
 func (l *L2) Advance(now int64) []Fill {
-	var fills []Fill
+	// Entries delivered by the previous Advance are no longer referenced by
+	// the caller: recycle them.
+	for _, e := range l.retired {
+		l.entryPool = append(l.entryPool, e)
+	}
+	l.retired = l.retired[:0]
+	fills := l.fillBuf[:0]
+	defer func() { l.fillBuf = fills[:0] }()
 	for {
 		comps := l.dram.Advance(now)
 		for _, c := range comps {
@@ -418,6 +441,7 @@ func (l *L2) Advance(now int64) []Fill {
 			l.insert(b, c.Addr, e.pc, c.Done, e.dirty)
 			l.fillsDone.Inc()
 			fills = append(fills, Fill{Bank: bankIdx, Block: c.Addr, Done: c.Done, Waiters: e.waiters})
+			l.retired = append(l.retired, e)
 		}
 		// Draining completions freed queue slots: resubmit held-back work,
 		// and loop so the controller can issue it at this same event time.
@@ -480,6 +504,9 @@ func (l *L2) Reset() {
 		b.order = nil
 		b.wbq = nil
 	}
+	l.fillBuf = nil
+	l.entryPool = nil
+	l.retired = nil
 	l.accesses.Reset()
 	l.hits.Reset()
 	l.misses.Reset()

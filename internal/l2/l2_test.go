@@ -20,7 +20,9 @@ func write(addr uint64) mem.Request {
 }
 
 // drainFills drives the event loop until the memory side is idle or the
-// horizon is reached, returning every completed fill.
+// horizon is reached, returning every completed fill. Advance's results (and
+// the waiter slices they carry) are only valid until the next Advance call,
+// so the fills are deep-copied before accumulating.
 func drainFills(t *testing.T, l *L2, horizon int64) []Fill {
 	t.Helper()
 	var fills []Fill
@@ -32,7 +34,10 @@ func drainFills(t *testing.T, l *L2, horizon int64) []Fill {
 		if next > horizon {
 			t.Fatalf("memory side did not settle before cycle %d (next event at %d)", horizon, next)
 		}
-		fills = append(fills, l.Advance(next)...)
+		for _, f := range l.Advance(next) {
+			f.Waiters = append([]Waiter(nil), f.Waiters...)
+			fills = append(fills, f)
+		}
 	}
 }
 

@@ -77,6 +77,10 @@ type Network struct {
 	// actually use in that direction; the remaining router ports are
 	// unwired and must not dilute utilisation statistics.
 	reachable [2]int
+	// pathBuf is the reusable per-route scratch buffer: routing runs once or
+	// twice per packet on the simulator's hot path, and a per-call slice
+	// allocation there dominates the network's own arithmetic.
+	pathBuf []int
 
 	reqPackets  stats.Counter
 	respPackets stats.Counter
@@ -171,8 +175,13 @@ func (n *Network) flits(bytes int) int64 {
 // pathLinks returns the link indices a packet takes through the stages. The
 // butterfly routing function uses destination digits in the router radix, so
 // the same (src,dst) pair always takes the same path (deterministic routing).
+// The returned slice aliases a scratch buffer owned by the network: it is
+// valid only until the next pathLinks call.
 func (n *Network) pathLinks(src, dst int) []int {
-	path := make([]int, n.stages)
+	if cap(n.pathBuf) < n.stages {
+		n.pathBuf = make([]int, n.stages)
+	}
+	path := n.pathBuf[:n.stages]
 	routersPerStage := len(n.links[0][0]) / n.cfg.Radix
 	router := src % max(routersPerStage, 1)
 	d := dst

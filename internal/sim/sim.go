@@ -1,15 +1,22 @@
 // Package sim wires the whole GPU together: SMs with their private FUSE (or
 // baseline) L1D caches, the butterfly interconnect, the shared L2 banks and
-// the GDDR5 DRAM. It advances the SMs cycle by cycle while the memory side is
-// driven by a small event queue, and it produces the aggregate metrics every
-// paper figure is built from (IPC, L1D miss rate, stalls, outgoing traffic,
-// off-chip time, energy inputs).
+// the GDDR5 DRAM, and it produces the aggregate metrics every paper figure is
+// built from (IPC, L1D miss rate, stalls, outgoing traffic, off-chip time,
+// energy inputs).
+//
+// The cycle engine is sparse: a min-heap of per-SM wake times plus a typed
+// event heap for the memory side, so each step touches only the SMs that can
+// actually make progress at that cycle. The cycles an SM sleeps through are
+// charged to the same stall counters cycle-by-cycle execution would have
+// charged, which makes the sparse engine a pure speedup: RunReference — the
+// step-every-cycle path — must produce bit-identical results, and the engine
+// equivalence test pins that.
 package sim
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
+	"slices"
 
 	"fuse/internal/config"
 	"fuse/internal/core"
@@ -58,9 +65,9 @@ func (o Options) WithDefaults() Options {
 	return o
 }
 
-// event is a memory-side event: a request arriving at an L2 bank, a response
-// arriving back at an SM, or the memory controller reaching its next
-// scheduling point (a DRAM command becoming issuable or a burst completing).
+// event is a memory-side event: a request arriving at an L2 bank or a
+// response arriving back at an SM. (The memory controller's own scheduling
+// points are tracked outside the heap — see armMemTick.)
 type event struct {
 	at    int64
 	seq   uint64
@@ -76,28 +83,178 @@ type eventKind uint8
 const (
 	evReqAtL2 eventKind = iota
 	evRespAtSM
-	evMemTick
 )
 
-// eventQueue is a min-heap ordered by event time, with the scheduling
-// sequence number as a deterministic tie-break.
-type eventQueue []event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// before is the deterministic event order: time first, scheduling sequence
+// number as the tie-break.
+func (e *event) before(at int64, seq uint64) bool {
+	if e.at != at {
+		return e.at < at
 	}
-	return q[i].seq < q[j].seq
+	return e.seq < seq
 }
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	*q = old[:n-1]
-	return e
+
+// eventHeap is a typed min-heap of events ordered by (at, seq). It replaces a
+// container/heap implementation whose interface boxing allocated on every
+// push; the typed heap reuses one backing array for the whole run.
+type eventHeap []event
+
+func (q *eventHeap) push(e event) {
+	h := append(*q, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h[i].before(h[p].at, h[p].seq) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	*q = h
+}
+
+func (q *eventHeap) pop() event {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && h[l].before(h[least].at, h[least].seq) {
+			least = l
+		}
+		if r < n && h[r].before(h[least].at, h[least].seq) {
+			least = r
+		}
+		if least == i {
+			break
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+	*q = h
+	return top
+}
+
+// smWakeHeap is an indexed min-heap of per-SM wake cycles: the earliest cycle
+// at which each live SM can make progress on its own (ready warp, timed warp
+// wake-up, L1D internal machinery). SMs blocked purely on in-flight fills are
+// absent from the heap — the fill delivery re-inserts them — and done SMs
+// never return.
+type smWakeHeap struct {
+	at  []int64 // at[sm] = wake cycle, valid while pos[sm] >= 0
+	pos []int   // pos[sm] = heap position, -1 when absent
+	ord []int   // heap array of SM indices
+}
+
+func (h *smWakeHeap) init(n int) {
+	h.at = make([]int64, n)
+	h.pos = make([]int, n)
+	h.ord = make([]int, 0, n)
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+}
+
+func (h *smWakeHeap) len() int { return len(h.ord) }
+
+// minAt returns the earliest wake cycle (-1 when the heap is empty).
+func (h *smWakeHeap) minAt() int64 {
+	if len(h.ord) == 0 {
+		return -1
+	}
+	return h.at[h.ord[0]]
+}
+
+func (h *smWakeHeap) swap(i, j int) {
+	h.ord[i], h.ord[j] = h.ord[j], h.ord[i]
+	h.pos[h.ord[i]] = i
+	h.pos[h.ord[j]] = j
+}
+
+func (h *smWakeHeap) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.at[h.ord[i]] >= h.at[h.ord[p]] {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *smWakeHeap) siftDown(i int) {
+	n := len(h.ord)
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && h.at[h.ord[l]] < h.at[h.ord[least]] {
+			least = l
+		}
+		if r < n && h.at[h.ord[r]] < h.at[h.ord[least]] {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		h.swap(i, least)
+		i = least
+	}
+}
+
+// update inserts the SM at the given wake cycle, or moves it if present.
+func (h *smWakeHeap) update(sm int, at int64) {
+	if p := h.pos[sm]; p >= 0 {
+		old := h.at[sm]
+		h.at[sm] = at
+		if at < old {
+			h.siftUp(p)
+		} else if at > old {
+			h.siftDown(p)
+		}
+		return
+	}
+	h.at[sm] = at
+	h.ord = append(h.ord, sm)
+	h.pos[sm] = len(h.ord) - 1
+	h.siftUp(len(h.ord) - 1)
+}
+
+// remove takes the SM out of the heap (no-op when absent).
+func (h *smWakeHeap) remove(sm int) {
+	p := h.pos[sm]
+	if p < 0 {
+		return
+	}
+	n := len(h.ord) - 1
+	h.swap(p, n)
+	h.ord = h.ord[:n]
+	h.pos[sm] = -1
+	if p < n {
+		h.siftDown(p)
+		h.siftUp(p)
+	}
+}
+
+// popDue appends to buf every SM whose wake cycle is <= t, removing them from
+// the heap, and returns the extended buffer (in arbitrary order).
+func (h *smWakeHeap) popDue(t int64, buf []int) []int {
+	for len(h.ord) > 0 && h.at[h.ord[0]] <= t {
+		sm := h.ord[0]
+		h.remove(sm)
+		buf = append(buf, sm)
+	}
+	return buf
+}
+
+// staleTick is a controller wake-up that was abandoned by an earlier re-arm;
+// its sequence position still matters if a later re-arm lands on its time.
+type staleTick struct {
+	at  int64
+	seq uint64
 }
 
 // Simulator is one configured GPU plus one workload.
@@ -111,12 +268,24 @@ type Simulator struct {
 	l2   *l2.L2
 	dram *dram.DRAM
 
-	events   eventQueue
+	events   eventHeap
 	eventSeq uint64
 	now      int64
-	// memTickAt is the earliest armed evMemTick (-1 when none is armed); it
-	// keeps the heap free of redundant controller wake-ups.
-	memTickAt int64
+	// memTickAt/memTickSeq are the armed memory-controller wake-up: the
+	// earliest cycle the controller can make progress, ordered against the
+	// event heap by (at, seq). -1 when the controller is idle.
+	memTickAt  int64
+	memTickSeq uint64
+	staleTicks []staleTick
+
+	// Sparse-engine state: per-SM wake heap, lazily charged idle cycles,
+	// and the dirty list drainOutgoing pulls from.
+	wake      smWakeHeap
+	chargedTo []int64 // SM i is charged for every cycle < chargedTo[i]
+	doneSMs   int
+	dirty     []int
+	dirtyMark []bool
+	readyBuf  []int
 
 	// Latency decomposition of completed fills (Figure 1).
 	nocCycles int64
@@ -191,8 +360,13 @@ func New(gpuCfg config.GPUConfig, profile trace.Profile, opts Options) (*Simulat
 		kernel := trace.NewKernel(profile, i, opts.Seed)
 		s.sms[i] = gpu.NewSM(i, gpuCfg.WarpsPerSM, opts.InstructionsPerWarp, kernel, l1d)
 	}
-	heap.Init(&s.events)
 	s.memTickAt = -1
+	s.wake.init(smCount)
+	for i := range s.sms {
+		s.wake.update(i, 0) // every SM starts with ready warps at cycle 0
+	}
+	s.chargedTo = make([]int64, smCount)
+	s.dirtyMark = make([]bool, smCount)
 	return s, nil
 }
 
@@ -215,13 +389,17 @@ func (s *Simulator) Now() int64 { return s.now }
 func (s *Simulator) schedule(e event) {
 	s.eventSeq++
 	e.seq = s.eventSeq
-	heap.Push(&s.events, e)
+	s.events.push(e)
 }
 
-// armMemTick makes sure an evMemTick is scheduled at the memory side's next
-// event time (but never before `now`). Redundant wake-ups — an already armed
-// earlier tick, or an idle controller — schedule nothing; a stale later tick
-// left in the heap fires as a harmless no-op.
+// armMemTick keeps the controller wake-up armed at the memory side's next
+// event time (but never before `now`). The tick lives outside the event heap;
+// re-arming earlier abandons the old tick instead of leaving a stale heap
+// entry. An abandoned tick's (time, seq) pair is remembered, because when a
+// later re-arm lands exactly on an abandoned time the tick must fire at the
+// abandoned — earlier — sequence position: that is where the previous
+// in-heap scheme's entry would have fired, and same-cycle interleaving
+// against request events is part of the engine's deterministic ordering.
 func (s *Simulator) armMemTick(now int64) {
 	next := s.l2.NextEventAt()
 	if next < 0 {
@@ -233,8 +411,37 @@ func (s *Simulator) armMemTick(now int64) {
 	if s.memTickAt >= 0 && s.memTickAt <= next {
 		return
 	}
-	s.memTickAt = next
-	s.schedule(event{at: next, kind: evMemTick})
+	if s.memTickAt >= 0 {
+		s.staleTicks = append(s.staleTicks, staleTick{at: s.memTickAt, seq: s.memTickSeq})
+	}
+	s.eventSeq++ // same sequence consumption as scheduling a heap event
+	seq := s.eventSeq
+	kept := s.staleTicks[:0]
+	for _, t := range s.staleTicks {
+		switch {
+		case t.at == next:
+			if t.seq < seq {
+				seq = t.seq
+			}
+		case t.at >= now:
+			kept = append(kept, t)
+		}
+	}
+	s.staleTicks = kept
+	s.memTickAt, s.memTickSeq = next, seq
+}
+
+// fireMemTick advances the memory controller to the armed tick time and
+// delivers the completed fills, then re-arms.
+func (s *Simulator) fireMemTick() {
+	at := s.memTickAt
+	s.memTickAt = -1
+	for _, fill := range s.l2.Advance(at) {
+		for _, w := range fill.Waiters {
+			s.respond(fill.Bank, w.Req.SM, fill.Block, w.Req.Issue, w.Arrive, w.DoneAt(fill.Done))
+		}
+	}
+	s.armMemTick(at)
 }
 
 // respond schedules the NoC response of one completed read and charges the
@@ -247,52 +454,102 @@ func (s *Simulator) respond(bank, sm int, block uint64, issue, arriveAtL2, done 
 	s.schedule(event{at: arrive, kind: evRespAtSM, sm: sm, block: block})
 }
 
-// processEvents handles every event due at or before the current cycle.
+// processEvents handles, in (at, seq) order, every event and controller tick
+// due at or before the current cycle.
 func (s *Simulator) processEvents() {
-	for len(s.events) > 0 && s.events[0].at <= s.now {
-		e := heap.Pop(&s.events).(event)
-		switch e.kind {
-		case evReqAtL2:
-			res := s.l2.Access(e.req, e.at)
-			switch res.Outcome {
-			case l2.OutcomeHit:
-				if e.req.Kind != mem.Write { // write-backs need no response
-					s.respond(e.bank, e.sm, e.req.BlockAddr(), e.req.Issue, e.at, res.Done)
-				}
-			case l2.OutcomeMiss, l2.OutcomeMerged:
-				// Writes are absorbed; read data arrives with the fill.
-			case l2.OutcomeBlocked:
-				// MSHR back-pressure: retry the access later. The wait is
-				// memory-side time, but the retry makes the waiter's L2
-				// arrival time the *last* attempt, which respond() would
-				// charge to the NoC share — move it to the memory share
-				// here so the Figure 1 decomposition stays faithful.
-				s.memCycles += res.RetryAt - e.at
-				s.nocCycles -= res.RetryAt - e.at
-				s.schedule(event{at: res.RetryAt, kind: evReqAtL2, sm: e.sm, bank: e.bank, req: e.req})
-			}
-			s.armMemTick(e.at)
-		case evMemTick:
-			if s.memTickAt == e.at {
-				s.memTickAt = -1
-			}
-			for _, fill := range s.l2.Advance(e.at) {
-				for _, w := range fill.Waiters {
-					s.respond(fill.Bank, w.Req.SM, fill.Block, w.Req.Issue, w.Arrive, w.DoneAt(fill.Done))
-				}
-			}
-			s.armMemTick(e.at)
-		case evRespAtSM:
-			s.fills++
-			s.sms[e.sm].DeliverFill(e.block, e.at)
+	for {
+		tickDue := s.memTickAt >= 0 && s.memTickAt <= s.now
+		if len(s.events) > 0 && s.events[0].at <= s.now &&
+			(!tickDue || s.events[0].before(s.memTickAt, s.memTickSeq)) {
+			s.handleEvent(s.events.pop())
+			continue
 		}
+		if tickDue {
+			s.fireMemTick()
+			continue
+		}
+		return
 	}
 }
 
-// drainOutgoing moves freshly generated misses and write-backs from every
-// SM's L1D into the interconnect.
+// handleEvent dispatches one popped event.
+func (s *Simulator) handleEvent(e event) {
+	switch e.kind {
+	case evReqAtL2:
+		res := s.l2.Access(e.req, e.at)
+		switch res.Outcome {
+		case l2.OutcomeHit:
+			if e.req.Kind != mem.Write { // write-backs need no response
+				s.respond(e.bank, e.sm, e.req.BlockAddr(), e.req.Issue, e.at, res.Done)
+			}
+		case l2.OutcomeMiss, l2.OutcomeMerged:
+			// Writes are absorbed; read data arrives with the fill.
+		case l2.OutcomeBlocked:
+			// MSHR back-pressure: retry the access later. The wait is
+			// memory-side time, but the retry makes the waiter's L2
+			// arrival time the *last* attempt, which respond() would
+			// charge to the NoC share — move it to the memory share
+			// here so the Figure 1 decomposition stays faithful.
+			s.memCycles += res.RetryAt - e.at
+			s.nocCycles -= res.RetryAt - e.at
+			s.schedule(event{at: res.RetryAt, kind: evReqAtL2, sm: e.sm, bank: e.bank, req: e.req})
+		}
+		s.armMemTick(e.at)
+	case evRespAtSM:
+		s.fills++
+		sm := s.sms[e.sm]
+		if !sm.Done() {
+			// Charge the idle cycles the SM slept through before the fill
+			// changes its outstanding-fill count, then wake it this cycle.
+			s.catchUp(e.sm)
+			sm.DeliverFill(e.block, e.at)
+			s.wake.update(e.sm, e.at)
+		} else {
+			// A done SM still owns its cache: the fill lands (and may evict
+			// a dirty victim that must be drained), but costs no SM cycles.
+			sm.DeliverFill(e.block, e.at)
+		}
+		s.markDirty(e.sm)
+	}
+}
+
+// catchUp charges SM i for the idle cycles between its last charged cycle and
+// the current one: the sparse engine never cycles a sleeping SM, so the skip
+// is accounted here with exactly the counters per-cycle execution would have
+// used (no ready warp; memory wait while fills are outstanding).
+func (s *Simulator) catchUp(i int) {
+	from := s.chargedTo[i]
+	if from >= s.now {
+		return
+	}
+	sm := s.sms[i]
+	skipped := uint64(s.now - from)
+	st := sm.Stats()
+	st.Cycles += skipped
+	st.NoReadyWarpCycles += skipped
+	if sm.OutstandingFills() > 0 {
+		st.MemWaitCycles += skipped
+	}
+	s.chargedTo[i] = s.now
+}
+
+// markDirty queues SM i for this step's outgoing-traffic drain.
+func (s *Simulator) markDirty(i int) {
+	if !s.dirtyMark[i] {
+		s.dirtyMark[i] = true
+		s.dirty = append(s.dirty, i)
+	}
+}
+
+// drainOutgoing moves freshly generated misses and write-backs into the
+// interconnect. Only SMs that were cycled or received a fill this step can
+// have new outgoing traffic, so it pulls from the step's dirty list (in SM
+// order, for deterministic link arbitration) instead of scanning every SM.
 func (s *Simulator) drainOutgoing() {
-	for _, sm := range s.sms {
+	slices.Sort(s.dirty)
+	for _, i := range s.dirty {
+		s.dirtyMark[i] = false
+		sm := s.sms[i]
 		for {
 			req, ok := sm.PopOutgoing()
 			if !ok {
@@ -311,60 +568,81 @@ func (s *Simulator) drainOutgoing() {
 			s.schedule(event{at: arrive, kind: evReqAtL2, sm: sm.ID, bank: bank, req: req})
 		}
 	}
+	s.dirty = s.dirty[:0]
 }
 
-// allDone reports whether every SM has retired its instruction budget.
-func (s *Simulator) allDone() bool {
-	for _, sm := range s.sms {
-		if !sm.Done() {
-			return false
-		}
+// cycleSM runs one cycle of SM i at the current time and reschedules it.
+func (s *Simulator) cycleSM(i int) {
+	sm := s.sms[i]
+	s.catchUp(i)
+	sm.Cycle(s.now)
+	s.chargedTo[i] = s.now + 1
+	s.markDirty(i)
+	if sm.Done() {
+		s.doneSMs++
+		s.wake.remove(i)
+		return
 	}
-	return true
+	if next := sm.NextSelfEventAt(s.now + 1); next >= 0 {
+		s.wake.update(i, next)
+	} else {
+		// Every live warp is blocked on an in-flight fill and the cache is
+		// idle: sleep until a fill delivery re-inserts the SM.
+		s.wake.remove(i)
+	}
 }
 
-// Step advances the simulation by one cycle.
+// stepSparse executes one step of the sparse engine at the current cycle:
+// deliver due events, cycle only the SMs whose wake time has come, drain
+// their traffic, advance the clock.
+func (s *Simulator) stepSparse() {
+	s.processEvents()
+	ready := s.wake.popDue(s.now, s.readyBuf[:0])
+	slices.Sort(ready) // SM order: deterministic issue and drain sequence
+	for _, i := range ready {
+		s.cycleSM(i)
+	}
+	s.readyBuf = ready[:0]
+	s.drainOutgoing()
+	s.now++
+}
+
+// Step advances the simulation by exactly one cycle, cycling every SM that
+// has not retired its budget — the step-every-cycle reference the sparse
+// engine is checked against (see RunReference).
 func (s *Simulator) Step() {
 	s.processEvents()
-	for _, sm := range s.sms {
+	for i, sm := range s.sms {
 		if !sm.Done() {
-			sm.Cycle(s.now)
+			s.cycleSM(i)
 		}
 	}
 	s.drainOutgoing()
 	s.now++
 }
 
-// fastForwardTarget returns the next cycle at which something can happen when
-// every SM is idle: the earliest event or timed warp wake-up. It returns the
-// current cycle when progress is possible right now.
-func (s *Simulator) fastForwardTarget() int64 {
-	target := int64(-1)
-	consider := func(t int64) {
-		if t < 0 {
-			return
-		}
-		if target < 0 || t < target {
-			target = t
+// nextTime returns the earliest cycle at which anything can happen: an SM
+// waking, an event delivery, or a controller scheduling point. It returns -1
+// when the machine can never make progress again.
+func (s *Simulator) nextTime() int64 {
+	t := s.wake.minAt()
+	if len(s.events) > 0 && (t < 0 || s.events[0].at < t) {
+		t = s.events[0].at
+	}
+	if s.memTickAt >= 0 && (t < 0 || s.memTickAt < t) {
+		t = s.memTickAt
+	}
+	return t
+}
+
+// settle charges the idle tail of every unfinished SM (a run that hits
+// MaxCycles, or SMs that slept while the last finisher retired).
+func (s *Simulator) settle() {
+	for i, sm := range s.sms {
+		if !sm.Done() {
+			s.catchUp(i)
 		}
 	}
-	for _, sm := range s.sms {
-		if sm.Done() {
-			continue
-		}
-		if sm.HasReadyWarp(s.now) {
-			return s.now
-		}
-		consider(sm.NextWakeAt())
-		consider(sm.L1D().NextInternalEventAt(s.now))
-	}
-	if len(s.events) > 0 {
-		consider(s.events[0].at)
-	}
-	if target < 0 || target <= s.now {
-		return s.now
-	}
-	return target
 }
 
 // Run executes the simulation to completion (or the cycle limit) and returns
@@ -375,39 +653,45 @@ func (s *Simulator) Run() Result {
 }
 
 // RunContext is Run with cancellation: the context is polled every few
-// thousand simulated cycles (cheap enough to be invisible in profiles), and
-// an expired context aborts the run with the context's error.
+// thousand steps (cheap enough to be invisible in profiles), and an expired
+// context aborts the run with the context's error.
 func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 	opts := s.opts
 	var steps uint
-	for !s.allDone() && s.now < opts.MaxCycles {
+	for s.doneSMs < len(s.sms) && s.now < opts.MaxCycles {
 		if steps++; steps&0xFFF == 0 {
 			if err := ctx.Err(); err != nil {
 				return Result{}, err
 			}
 		}
-		// Fast-forward across cycles in which no SM can issue: this keeps
-		// memory-bound runs cheap without changing their timing, because
-		// SM.Cycle still charges the skipped cycles to the stall counters.
-		// The skipped range is [s.now, target): the next Step executes cycle
-		// `target`, so every cycle before it — including the current one —
-		// is charged as idle, exactly as per-cycle execution would.
-		if target := s.fastForwardTarget(); target > s.now+1 {
-			skipped := target - s.now
-			for _, sm := range s.sms {
-				if sm.Done() {
-					continue
-				}
-				st := sm.Stats()
-				st.Cycles += uint64(skipped)
-				st.NoReadyWarpCycles += uint64(skipped)
-				if sm.OutstandingFills() > 0 {
-					st.MemWaitCycles += uint64(skipped)
-				}
-			}
-			s.now = target
+		t := s.nextTime()
+		if t < 0 || t >= opts.MaxCycles {
+			// Nothing can happen before the cycle limit: no SM wake, event
+			// or controller tick is due inside it (or nothing is pending at
+			// all). Idle to the limit — exactly what stepping every
+			// remaining cycle would do, minus the spin; settle() charges
+			// the skipped idle cycles.
+			s.now = opts.MaxCycles
+			break
 		}
+		if t > s.now {
+			s.now = t
+		}
+		s.stepSparse()
+	}
+	s.settle()
+	return s.collect(), nil
+}
+
+// RunReference executes the simulation stepping every cycle and cycling every
+// live SM — no wake scheduling, no idle-cycle skipping. It is the semantic
+// reference the sparse engine must match bit-for-bit (the engine equivalence
+// test asserts identical Result structs) and is kept for validation; it is
+// dramatically slower on memory-bound workloads.
+func (s *Simulator) RunReference() Result {
+	for s.doneSMs < len(s.sms) && s.now < s.opts.MaxCycles {
 		s.Step()
 	}
-	return s.collect(), nil
+	s.settle()
+	return s.collect()
 }

@@ -225,13 +225,15 @@ func TestSimulatorAccessors(t *testing.T) {
 	}
 }
 
-// TestFastForwardMatchesCycleByCycle pins the fast-forward optimisation's
-// core invariant: skipping idle cycles (Run's fastForwardTarget path) must
-// produce exactly the same metrics as stepping every cycle, because the
-// skipped cycles are charged to the same stall counters the per-cycle path
-// would have charged.
-func TestFastForwardMatchesCycleByCycle(t *testing.T) {
-	for _, kind := range []config.L1DKind{config.L1SRAM, config.DyFUSE} {
+// TestSparseEngineMatchesReference pins the sparse cycle engine's core
+// invariant: cycling only the SMs that can make progress (and lazily charging
+// the cycles they sleep through) must produce exactly the same Result struct
+// — cycles, stalls, off-chip decomposition, energy inputs — as stepping every
+// cycle. One memory-bound workload (ATAX: SMs spend most cycles asleep
+// waiting on fills) and one compute-bound workload (pathf: SMs almost never
+// sleep) exercise both extremes, across a blocking and a non-blocking L1D.
+func TestSparseEngineMatchesReference(t *testing.T) {
+	for _, kind := range []config.L1DKind{config.L1SRAM, config.Hybrid, config.DyFUSE} {
 		for _, workload := range []string{"ATAX", "pathf"} {
 			opts := quickOpts()
 			prof, ok := trace.ProfileByName(workload)
@@ -240,26 +242,66 @@ func TestFastForwardMatchesCycleByCycle(t *testing.T) {
 			}
 			gpuCfg := config.FermiGPU(config.NewL1DConfig(kind))
 
-			fast, err := New(gpuCfg, prof, opts)
+			sparse, err := New(gpuCfg, prof, opts)
 			if err != nil {
 				t.Fatal(err)
 			}
-			fastRes := fast.Run()
+			sparseRes := sparse.Run()
 
-			slow, err := New(gpuCfg, prof, opts)
+			ref, err := New(gpuCfg, prof, opts)
 			if err != nil {
 				t.Fatal(err)
 			}
-			// Force cycle-by-cycle execution: Step never fast-forwards.
-			for !slow.allDone() && slow.now < slow.opts.MaxCycles {
-				slow.Step()
-			}
-			slowRes := slow.collect()
+			refRes := ref.RunReference()
 
-			if fastRes != slowRes {
-				t.Errorf("%v/%s: fast-forward result differs from cycle-by-cycle:\nfast: %+v\nslow: %+v",
-					kind, workload, fastRes, slowRes)
+			if sparseRes != refRes {
+				t.Errorf("%v/%s: sparse engine result differs from step-every-cycle reference:\nsparse: %+v\nref:    %+v",
+					kind, workload, sparseRes, refRes)
 			}
+		}
+	}
+}
+
+// TestSparseEngineMatchesReferenceAtCycleLimit covers the truncated-run path:
+// a run that aborts at MaxCycles must charge the idle tail of every
+// unfinished SM exactly as per-cycle stepping would — including when the
+// sparse engine's next wake target lies beyond the limit (the time jump must
+// clamp, never execute cycles past MaxCycles).
+func TestSparseEngineMatchesReferenceAtCycleLimit(t *testing.T) {
+	saturated := config.FermiGPU(config.NewL1DConfig(config.L1SRAM))
+	// A single warp per SM parks the whole SM on one fill, so the next-event
+	// gap regularly straddles a small MaxCycles.
+	gap := config.FermiGPU(config.NewL1DConfig(config.L1SRAM))
+	gap.WarpsPerSM = 1
+
+	cases := []struct {
+		name string
+		gpu  config.GPUConfig
+		opts Options
+	}{
+		{"saturated", saturated, Options{InstructionsPerWarp: 100000, MaxCycles: 3000, SMOverride: 2, Seed: 3}},
+		{"event-gap-straddles-limit", gap, Options{InstructionsPerWarp: 100000, MaxCycles: 7, SMOverride: 1, Seed: 3}},
+	}
+	for _, tc := range cases {
+		prof, _ := trace.ProfileByName("SM") // APKI 140: misses immediately
+		sparse, err := New(tc.gpu, prof, tc.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sparseRes := sparse.Run()
+
+		ref, err := New(tc.gpu, prof, tc.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refRes := ref.RunReference()
+
+		if sparseRes != refRes {
+			t.Errorf("%s: sparse engine differs from reference:\nsparse: %+v\nref:    %+v", tc.name, sparseRes, refRes)
+		}
+		if sparseRes.Cycles != tc.opts.MaxCycles {
+			t.Errorf("%s: truncated run must stop exactly at the cycle limit, got %d (want %d)",
+				tc.name, sparseRes.Cycles, tc.opts.MaxCycles)
 		}
 	}
 }
