@@ -83,7 +83,7 @@ func BenchmarkFig03_MotivationCaches(b *testing.B) {
 
 func BenchmarkFig06_ReadLevelAnalysis(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tab, err := experiments.Fig6ReadLevelAnalysis(trace.Names(), 42)
+		tab, err := experiments.Fig6ReadLevelAnalysis(experiments.AllWorkloads(), 42)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -283,7 +283,7 @@ func BenchmarkSingleSimulation(b *testing.B) {
 	prof, _ := trace.ProfileByName("ATAX")
 	for i := 0; i < b.N; i++ {
 		gpuCfg := config.FermiGPU(config.NewL1DConfig(config.DyFUSE))
-		s, err := sim.New(gpuCfg, prof, benchScale.Options())
+		s, err := sim.New(gpuCfg, trace.Synthetic(prof), benchScale.Options())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -297,7 +297,7 @@ func BenchmarkSingleSimulation(b *testing.B) {
 func BenchmarkEnergyModel(b *testing.B) {
 	prof, _ := trace.ProfileByName("GESUM")
 	gpuCfg := config.FermiGPU(config.NewL1DConfig(config.DyFUSE))
-	s, err := sim.New(gpuCfg, prof, benchScale.Options())
+	s, err := sim.New(gpuCfg, trace.Synthetic(prof), benchScale.Options())
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -6,18 +6,27 @@
 //
 // Endpoints:
 //
-//	POST /v1/batch            run a batch of (kind, workload) simulations
+//	POST /v1/batch            run a batch of (kind, workload) simulations;
+//	                          a "workloads" block defines custom profiles or
+//	                          phased workloads inline (workload-file schema)
 //	GET  /v1/result/{key}     fetch one stored result by content key
 //	GET  /v1/figures/{13..17} render an evaluation figure as a text table
 //	                          (optional ?workloads=ATAX,GEMM subset)
 //	GET  /v1/figures/backends render the memory-backend sweep
+//	GET  /v1/workloads        list the workload registry (builtin + custom)
 //
 // Usage:
 //
 //	fuseserve -addr :8080 -store /var/lib/fuse -scale bench
+//	fuseserve -workloads my-workloads.json
 //	curl -s localhost:8080/v1/figures/13
 //	curl -s -X POST localhost:8080/v1/batch \
 //	  -d '{"jobs":[{"kind":"Dy-FUSE","workload":"ATAX"}]}'
+//	curl -s -X POST localhost:8080/v1/batch -d '{
+//	  "workloads": {"profiles": [{"name": "mlstress", "apki": 120,
+//	    "mix": {"wm": 0.35, "readIntensive": 0.25, "worm": 0.3, "woro": 0.1},
+//	    "workingSetBlocks": 420, "irregular": 0.4, "wormReuse": 3}]},
+//	  "jobs": [{"kind": "Dy-FUSE", "workload": "mlstress"}]}'
 package main
 
 import (
@@ -26,12 +35,14 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"fuse/internal/dram"
 	"fuse/internal/engine"
 	"fuse/internal/experiments"
 	"fuse/internal/store"
+	"fuse/internal/trace"
 )
 
 func main() {
@@ -42,8 +53,18 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "number of concurrent simulations (0 = GOMAXPROCS)")
 		timeout   = flag.Duration("timeout", 0, "per-request timeout (0 = no limit)")
 		backend   = flag.String("backend", "", "default memory backend for batch jobs and figures (GDDR5, GDDR5X, HBM2, STT-MRAM; empty = each GPU model's default)")
+		workFile  = flag.String("workloads", "", "workload file (JSON) of custom profiles and phased workloads to register at startup")
 	)
 	flag.Parse()
+
+	if *workFile != "" {
+		names, err := trace.LoadWorkloadFile(*workFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fuseserve: %v\n", err)
+			os.Exit(1)
+		}
+		log.Printf("fuseserve: registered workloads from %s: %s", *workFile, strings.Join(names, ", "))
+	}
 
 	if *backend != "" {
 		if _, err := dram.BackendByName(*backend); err != nil {

@@ -56,7 +56,51 @@ func newServer(scale experiments.Scale, runner *engine.Runner, results store.Cac
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/result/{key}", s.handleResult)
 	mux.HandleFunc("GET /v1/figures/{fig}", s.handleFigure)
+	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	return mux
+}
+
+// workloadInfo is one entry of the GET /v1/workloads listing.
+type workloadInfo struct {
+	Name    string `json:"name"`
+	Kind    string `json:"kind"` // "profile" or "phased"
+	Builtin bool   `json:"builtin"`
+	Suite   string `json:"suite,omitempty"`
+	// APKI is only meaningful for profile workloads.
+	APKI        float64 `json:"apki,omitempty"`
+	Description string  `json:"description,omitempty"`
+	// Phases lists the phase profiles of a phased workload.
+	Phases []string `json:"phases,omitempty"`
+}
+
+// handleWorkloads lists the workload registry: the 21 builtin benchmarks plus
+// everything registered since (workload files, inline batch definitions).
+func (s *server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	var out []workloadInfo
+	for _, name := range trace.WorkloadNames() {
+		wl, ok := trace.Lookup(name)
+		if !ok {
+			continue // unregistered between listing and lookup: impossible today
+		}
+		info := workloadInfo{Name: name, Builtin: trace.IsBuiltin(name)}
+		switch wl := wl.(type) {
+		case *trace.SyntheticWorkload:
+			info.Kind = "profile"
+			info.Suite = wl.Profile.Suite
+			info.APKI = wl.Profile.APKI
+			info.Description = wl.Profile.Description
+		case *trace.PhasedWorkload:
+			info.Kind = "phased"
+			info.Description = wl.Description
+			for _, ph := range wl.Phases {
+				info.Phases = append(info.Phases, ph.Profile.Name)
+			}
+		default:
+			info.Kind = "other"
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"workloads": out})
 }
 
 // requestContext bounds one request by the server's per-request timeout.
@@ -71,7 +115,9 @@ func (s *server) requestContext(r *http.Request) (context.Context, context.Cance
 type batchJob struct {
 	// Kind is the L1D configuration name (config.ParseL1DKind).
 	Kind string `json:"kind"`
-	// Workload is the benchmark name (see trace.Names).
+	// Workload is the workload name, resolved through the trace registry:
+	// a builtin benchmark, a workload the server loaded at startup, or one
+	// defined inline in this request's "workloads" block.
 	Workload string `json:"workload"`
 }
 
@@ -85,10 +131,16 @@ type batchOptions struct {
 	Backend string `json:"backend,omitempty"`
 }
 
-// batchRequest is the body of POST /v1/batch.
+// batchRequest is the body of POST /v1/batch. Workloads, when present, is an
+// inline workload definition block (the workload-file schema: custom
+// profiles and phased composites); its entries are registered before the
+// jobs resolve, so a batch can define a workload and run it in one request.
+// Re-posting an identical definition is a no-op; redefining an existing name
+// with different parameters is a 400.
 type batchRequest struct {
-	Jobs    []batchJob    `json:"jobs"`
-	Options *batchOptions `json:"options,omitempty"`
+	Jobs      []batchJob          `json:"jobs"`
+	Options   *batchOptions       `json:"options,omitempty"`
+	Workloads *trace.WorkloadFile `json:"workloads,omitempty"`
 }
 
 // batchResult is one per-job entry of a batch response, in submission order.
@@ -123,6 +175,12 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "empty batch")
 		return
 	}
+	if req.Workloads != nil {
+		if _, err := req.Workloads.Register(); err != nil {
+			httpError(w, http.StatusBadRequest, "workloads: %v", err)
+			return
+		}
+	}
 
 	opts := s.matrix.Scale().Options()
 	backend := s.backend
@@ -152,8 +210,8 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, "job %d: %v", i, err)
 			return
 		}
-		if _, ok := trace.ProfileByName(j.Workload); !ok {
-			httpError(w, http.StatusBadRequest, "job %d: unknown workload %q", i, j.Workload)
+		if _, err := trace.LookupWorkload(j.Workload); err != nil {
+			httpError(w, http.StatusBadRequest, "job %d: %v", i, err)
 			return
 		}
 		job := engine.Job{Kind: kind, Workload: j.Workload, Opts: opts}
@@ -252,8 +310,8 @@ func (s *server) handleFigure(w http.ResponseWriter, r *http.Request) {
 			if workload == "" {
 				continue
 			}
-			if _, ok := trace.ProfileByName(workload); !ok {
-				httpError(w, http.StatusBadRequest, "unknown workload %q", workload)
+			if _, err := trace.LookupWorkload(workload); err != nil {
+				httpError(w, http.StatusBadRequest, "%v", err)
 				return
 			}
 			workloads = append(workloads, workload)

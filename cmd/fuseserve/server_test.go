@@ -314,3 +314,117 @@ func TestBatchBackendOption(t *testing.T) {
 		t.Errorf("rejected batch must not simulate")
 	}
 }
+
+func TestWorkloadsEndpointListsRegistry(t *testing.T) {
+	var execs atomic.Int32
+	ts := newTestServer(t, t.TempDir(), &execs)
+	resp, err := http.Get(ts.URL + "/v1/workloads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var body struct {
+		Workloads []workloadInfo `json:"workloads"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Workloads) < 21 {
+		t.Fatalf("expected at least the 21 builtin workloads, got %d", len(body.Workloads))
+	}
+	builtins := 0
+	byName := map[string]workloadInfo{}
+	for _, w := range body.Workloads {
+		byName[w.Name] = w
+		if w.Builtin {
+			builtins++
+		}
+	}
+	if builtins != 21 {
+		t.Errorf("expected exactly 21 builtin entries, got %d", builtins)
+	}
+	atax, ok := byName["ATAX"]
+	if !ok || atax.Kind != "profile" || !atax.Builtin || atax.APKI != 64 {
+		t.Errorf("ATAX entry wrong: %+v", atax)
+	}
+}
+
+func TestBatchInlineWorkloadDefinitions(t *testing.T) {
+	var execs atomic.Int32
+	ts := newTestServer(t, t.TempDir(), &execs)
+
+	// Define a profile and a phased workload inline and run them in the same
+	// request.
+	body := `{
+		"workloads": {
+			"profiles": [{"name": "srv-ml", "suite": "ML", "apki": 120,
+				"mix": {"wm": 0.35, "readIntensive": 0.25, "worm": 0.3, "woro": 0.1},
+				"workingSetBlocks": 420, "irregular": 0.4, "wormReuse": 3}],
+			"phased": [{"name": "srv-train", "phases": [
+				{"profile": "srv-ml", "instructions": 500}, {"profile": "GEMM"}]}]
+		},
+		"jobs": [{"kind": "Dy-FUSE", "workload": "srv-ml"},
+		         {"kind": "Dy-FUSE", "workload": "srv-train"}]
+	}`
+	resp, br := postBatch(t, ts, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	for i, r := range br.Results {
+		if r.Error != "" || r.Result == nil {
+			t.Fatalf("job %d failed: %s", i, r.Error)
+		}
+		if r.Key == "" || r.Result.Instructions == 0 {
+			t.Errorf("job %d: missing key or empty result", i)
+		}
+	}
+	if br.Results[0].Result.Workload != "srv-ml" || br.Results[1].Result.Workload != "srv-train" {
+		t.Errorf("inline workloads should run under their own names: %+v", br.Results)
+	}
+
+	// The inline definitions persist in the registry: listed, and re-usable
+	// without re-defining. Identical re-definition is accepted.
+	resp2, br2 := postBatch(t, ts, body)
+	if resp2.StatusCode != http.StatusOK || br2.Results[0].Error != "" {
+		t.Fatalf("identical re-definition should succeed: %d", resp2.StatusCode)
+	}
+	if br2.Results[0].Key != br.Results[0].Key {
+		t.Errorf("re-run of the same inline workload must hit the same store key")
+	}
+
+	// Conflicting redefinition is a 400.
+	conflict := strings.Replace(body, `"apki": 120`, `"apki": 7`, 1)
+	resp3, _ := postBatch(t, ts, conflict)
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Errorf("conflicting redefinition should be a 400, got %d", resp3.StatusCode)
+	}
+
+	// Referencing an undefined workload is still a 400 with the registry's
+	// error message.
+	resp4, _ := postBatch(t, ts, `{"jobs":[{"kind":"Dy-FUSE","workload":"srv-undefined"}]}`)
+	if resp4.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown workload should be a 400, got %d", resp4.StatusCode)
+	}
+
+	// Invalid inline profiles are rejected before any job runs — and the
+	// rejection is atomic: valid entries earlier in the same block must not
+	// leak into the registry (a 400 means no server state changed).
+	bad := `{"workloads": {"profiles": [
+		{"name": "srv-leak", "apki": 40,
+		 "mix": {"wm": 0.25, "readIntensive": 0.25, "worm": 0.25, "woro": 0.25},
+		 "workingSetBlocks": 100, "irregular": 0.1, "wormReuse": 2},
+		{"name": "srv-bad", "apki": 0,
+		 "mix": {"wm": 1}, "workingSetBlocks": 1, "wormReuse": 1}]},
+		"jobs": [{"kind": "Dy-FUSE", "workload": "srv-bad"}]}`
+	resp5, _ := postBatch(t, ts, bad)
+	if resp5.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid inline profile should be a 400, got %d", resp5.StatusCode)
+	}
+	resp6, _ := postBatch(t, ts, `{"jobs":[{"kind":"Dy-FUSE","workload":"srv-leak"}]}`)
+	if resp6.StatusCode != http.StatusBadRequest {
+		t.Errorf("rejected definition block must not register its valid entries, got %d", resp6.StatusCode)
+	}
+}

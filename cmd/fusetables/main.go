@@ -15,6 +15,12 @@
 //	fusetables -exp fig14 -workloads ATAX,BICG,GESUM
 //	fusetables -exp all -parallel 8 -timeout 10m -progress
 //	fusetables -exp fig13 -store ~/.cache/fuse  # persist results; reruns are warm
+//	fusetables -exp fig13 -workloadfile my.json -workloads ATAX,mykernel
+//
+// -workloadfile registers the custom profiles and phased workloads of a
+// workload file (see the trace package); name them in -workloads to include
+// them in a figure. The default workload sets stay pinned to the paper's 21
+// benchmarks.
 //
 // With -store, completed simulations are persisted to a content-addressed
 // result store shared with fusesim and fuseserve; a second run of the same
@@ -34,6 +40,7 @@ import (
 	"fuse/internal/engine"
 	"fuse/internal/experiments"
 	"fuse/internal/store"
+	"fuse/internal/trace"
 )
 
 func main() {
@@ -47,8 +54,18 @@ func main() {
 		progress  = flag.Bool("progress", false, "print per-simulation progress to stderr")
 		storeDir  = flag.String("store", "", "persistent result-store directory shared with fusesim/fuseserve (empty = no store)")
 		backend   = flag.String("backend", "", "run every experiment on this memory backend (GDDR5, GDDR5X, HBM2, STT-MRAM; empty = each GPU model's default)")
+		workFile  = flag.String("workloadfile", "", "workload file (JSON) of custom profiles and phased workloads to register; use -workloads to include them in a figure")
 	)
 	flag.Parse()
+
+	if *workFile != "" {
+		names, err := trace.LoadWorkloadFile(*workFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fusetables: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[workloads %s: registered %s]\n", *workFile, strings.Join(names, ", "))
+	}
 
 	if *backend != "" {
 		if _, err := dram.BackendByName(*backend); err != nil {

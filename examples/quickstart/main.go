@@ -33,7 +33,7 @@ func main() {
 
 	run := func(kind config.L1DKind) sim.Result {
 		gpuCfg := config.FermiGPU(config.NewL1DConfig(kind))
-		s, err := sim.New(gpuCfg, profile, opts)
+		s, err := sim.New(gpuCfg, trace.Synthetic(profile), opts)
 		if err != nil {
 			log.Fatalf("building %v simulator: %v", kind, err)
 		}

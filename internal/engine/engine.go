@@ -32,7 +32,9 @@ type Job struct {
 	// Kind selects the L1D configuration on the Fermi-class GPU. It is
 	// ignored when GPU is set.
 	Kind config.L1DKind
-	// Workload is the benchmark name (see trace.Names).
+	// Workload is the workload name, resolved through the trace registry
+	// (builtin benchmarks — see trace.Names — and registered custom or
+	// phased workloads alike).
 	Workload string
 	// Label identifies a custom-GPU job. It must uniquely describe GPU
 	// within one Runner: the label, not the config struct, is the dedup
@@ -87,15 +89,17 @@ func BackendJob(kind config.L1DKind, workload, backend string, opts sim.Options)
 }
 
 // StoreKey returns the job's content-addressed result-store key: the stable
-// hash of its effective GPU configuration, workload profile and simulation
-// options (see store.Key). Unlike Key, which identifies a job within one
-// Runner, the store key identifies the simulation across processes.
+// hash of its effective GPU configuration, workload key material and
+// simulation options (see store.Key). Unlike Key, which identifies a job
+// within one Runner, the store key identifies the simulation across
+// processes. The workload name is resolved through the trace registry, so
+// custom (file-loaded or API-registered) workloads key exactly like builtins.
 func StoreKey(job Job) (string, error) {
-	prof, ok := trace.ProfileByName(job.Workload)
-	if !ok {
-		return "", fmt.Errorf("engine: unknown workload %q", job.Workload)
+	w, err := trace.LookupWorkload(job.Workload)
+	if err != nil {
+		return "", fmt.Errorf("engine: %w", err)
 	}
-	return store.Key(job.GPUConfig(), prof, job.Opts)
+	return store.Key(job.GPUConfig(), w, job.Opts)
 }
 
 // Cache is the pluggable second-tier result cache of a Runner: it is
@@ -111,14 +115,11 @@ type Cache = store.Cache
 // is threaded into the simulator's cycle loop, so cancellation aborts
 // in-flight simulations, not just queued ones.
 func Execute(ctx context.Context, job Job) (sim.Result, error) {
-	if job.GPU == nil {
-		return sim.RunWorkloadContext(ctx, job.Kind, job.Workload, job.Opts)
+	w, err := trace.LookupWorkload(job.Workload)
+	if err != nil {
+		return sim.Result{}, fmt.Errorf("engine: %w", err)
 	}
-	prof, ok := trace.ProfileByName(job.Workload)
-	if !ok {
-		return sim.Result{}, fmt.Errorf("engine: unknown workload %q", job.Workload)
-	}
-	s, err := sim.New(*job.GPU, prof, job.Opts)
+	s, err := sim.New(job.GPUConfig(), w, job.Opts)
 	if err != nil {
 		return sim.Result{}, err
 	}

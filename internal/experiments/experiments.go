@@ -257,8 +257,11 @@ var fig13Kinds = []config.L1DKind{
 	config.BaseFUSE, config.FAFUSE, config.DyFUSE,
 }
 
-// AllWorkloads returns the 21 workload names in figure order.
-func AllWorkloads() []string { return trace.Names() }
+// AllWorkloads returns the 21 workload names in figure order. It is pinned
+// to the builtin benchmarks: registering custom workloads (workload files,
+// the server's inline definitions) never changes what a paper figure means —
+// pass an explicit workload subset to include them.
+func AllWorkloads() []string { return trace.BuiltinNames() }
 
 // Names of the experiments, usable with Run.
 const (

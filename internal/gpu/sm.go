@@ -34,13 +34,13 @@ func (s *SMStats) IPC() float64 {
 }
 
 // SM is one streaming multiprocessor: a set of resident warps, a shared
-// kernel instruction stream, and a private L1D cache.
+// instruction stream (any trace.Source), and a private L1D cache.
 type SM struct {
 	// ID is the SM index within the GPU.
 	ID int
 
 	warps  []*Warp
-	kernel *trace.Kernel
+	source trace.Source
 	l1d    core.L1D
 
 	// pending holds, per warp, the memory instruction that was rejected by
@@ -63,14 +63,15 @@ type SM struct {
 }
 
 // NewSM builds an SM with the given number of warps, each executing
-// `instrPerWarp` instructions of the kernel, backed by the given L1D cache.
-func NewSM(id, warps int, instrPerWarp uint64, kernel *trace.Kernel, l1d core.L1D) *SM {
+// `instrPerWarp` instructions of the source stream, backed by the given L1D
+// cache.
+func NewSM(id, warps int, instrPerWarp uint64, source trace.Source, l1d core.L1D) *SM {
 	if warps <= 0 {
 		warps = 1
 	}
 	sm := &SM{
 		ID:         id,
-		kernel:     kernel,
+		source:     source,
 		l1d:        l1d,
 		waiting:    make(map[uint64][]int),
 		pending:    make([]trace.Instruction, warps),
@@ -199,7 +200,7 @@ func (sm *SM) Cycle(now int64) {
 
 	ins := sm.pending[w.ID]
 	if !sm.pendingSet[w.ID] {
-		ins = sm.kernel.Next(w.ID)
+		ins = sm.source.Next(w.ID)
 	}
 
 	if !ins.IsMem {

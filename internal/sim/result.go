@@ -9,6 +9,7 @@ import (
 	"fuse/internal/core"
 	"fuse/internal/memtech"
 	"fuse/internal/predictor"
+	"fuse/internal/trace"
 )
 
 // Result is the aggregate outcome of one simulation run. It contains every
@@ -79,7 +80,7 @@ func (s *Simulator) collect() Result {
 	r := Result{
 		GPUName:      s.gpuCfg.Name,
 		L1DKind:      s.gpuCfg.L1D.Kind,
-		Workload:     s.profile.Name,
+		Workload:     s.workload.Name(),
 		Cycles:       s.now,
 		SimulatedSMs: len(s.sms),
 	}
@@ -209,14 +210,16 @@ func RunWorkload(kind config.L1DKind, workload string, opts Options) (Result, er
 	return RunWorkloadContext(context.Background(), kind, workload, opts)
 }
 
-// RunWorkloadContext is RunWorkload with cancellation (see RunContext).
+// RunWorkloadContext is RunWorkload with cancellation (see RunContext). The
+// name is resolved through the trace registry — builtin Table-II benchmarks
+// and user-registered workloads (workload files, phased composites) alike.
 func RunWorkloadContext(ctx context.Context, kind config.L1DKind, workload string, opts Options) (Result, error) {
-	prof, ok := profileByName(workload)
-	if !ok {
-		return Result{}, fmt.Errorf("sim: unknown workload %q", workload)
+	w, err := trace.LookupWorkload(workload)
+	if err != nil {
+		return Result{}, fmt.Errorf("sim: %w", err)
 	}
 	gpuCfg := config.FermiGPU(config.NewL1DConfig(kind))
-	s, err := New(gpuCfg, prof, opts)
+	s, err := New(gpuCfg, w, opts)
 	if err != nil {
 		return Result{}, err
 	}

@@ -259,9 +259,9 @@ type staleTick struct {
 
 // Simulator is one configured GPU plus one workload.
 type Simulator struct {
-	gpuCfg  config.GPUConfig
-	profile trace.Profile
-	opts    Options
+	gpuCfg   config.GPUConfig
+	workload trace.Workload
+	opts     Options
 
 	sms  []*gpu.SM
 	net  *noc.Network
@@ -293,16 +293,22 @@ type Simulator struct {
 	fills     uint64
 }
 
-// New builds a simulator for the given GPU configuration and workload.
-func New(gpuCfg config.GPUConfig, profile trace.Profile, opts Options) (*Simulator, error) {
+// New builds a simulator for the given GPU configuration and workload
+// descriptor. Synthetic profiles wrap as trace.Synthetic(profile); phased and
+// replay workloads plug in the same way — the simulator only sees the
+// per-SM instruction Sources the workload constructs.
+func New(gpuCfg config.GPUConfig, workload trace.Workload, opts Options) (*Simulator, error) {
 	if err := gpuCfg.Validate(); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
-	if err := profile.Validate(); err != nil {
+	if workload == nil {
+		return nil, fmt.Errorf("sim: nil workload")
+	}
+	if err := workload.Validate(); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
 	opts = opts.WithDefaults()
-	s := &Simulator{gpuCfg: gpuCfg, profile: profile, opts: opts}
+	s := &Simulator{gpuCfg: gpuCfg, workload: workload, opts: opts}
 
 	smCount := gpuCfg.SMs
 	if opts.SMOverride > 0 && opts.SMOverride < smCount {
@@ -357,8 +363,11 @@ func New(gpuCfg config.GPUConfig, profile trace.Profile, opts Options) (*Simulat
 		if err != nil {
 			return nil, fmt.Errorf("sim: %w", err)
 		}
-		kernel := trace.NewKernel(profile, i, opts.Seed)
-		s.sms[i] = gpu.NewSM(i, gpuCfg.WarpsPerSM, opts.InstructionsPerWarp, kernel, l1d)
+		source, err := workload.NewSource(i, opts.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		s.sms[i] = gpu.NewSM(i, gpuCfg.WarpsPerSM, opts.InstructionsPerWarp, source, l1d)
 	}
 	s.memTickAt = -1
 	s.wake.init(smCount)

@@ -144,7 +144,7 @@ func TestOracleCacheNearlyEliminatesMisses(t *testing.T) {
 	opts := quickOpts()
 	prof, _ := trace.ProfileByName("ATAX")
 	oracle := config.FermiGPU(config.OracleL1D())
-	s, err := New(oracle, prof, opts)
+	s, err := New(oracle, trace.Synthetic(prof), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +162,7 @@ func TestVoltaConfigurationRuns(t *testing.T) {
 	prof, _ := trace.ProfileByName("gaussian")
 	volta := config.VoltaGPU(config.ScaleL1D(config.NewL1DConfig(DyKindForTest()), 2))
 	opts := quickOpts()
-	s, err := New(volta, prof, opts)
+	s, err := New(volta, trace.Synthetic(prof), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,12 +184,12 @@ func TestRunWorkloadErrors(t *testing.T) {
 	prof, _ := trace.ProfileByName("ATAX")
 	bad := config.FermiGPU(config.NewL1DConfig(config.DyFUSE))
 	bad.SMs = 0
-	if _, err := New(bad, prof, Options{}); err == nil {
+	if _, err := New(bad, trace.Synthetic(prof), Options{}); err == nil {
 		t.Errorf("invalid GPU config should fail")
 	}
 	badProf := prof
 	badProf.APKI = 0
-	if _, err := New(config.FermiGPU(config.NewL1DConfig(config.DyFUSE)), badProf, Options{}); err == nil {
+	if _, err := New(config.FermiGPU(config.NewL1DConfig(config.DyFUSE)), trace.Synthetic(badProf), Options{}); err == nil {
 		t.Errorf("invalid profile should fail")
 	}
 }
@@ -197,7 +197,7 @@ func TestRunWorkloadErrors(t *testing.T) {
 func TestMaxCyclesBoundsRuntime(t *testing.T) {
 	prof, _ := trace.ProfileByName("SM") // APKI 140: needs many cycles
 	gpuCfg := config.FermiGPU(config.NewL1DConfig(config.L1SRAM))
-	s, err := New(gpuCfg, prof, Options{InstructionsPerWarp: 100000, MaxCycles: 2000, SMOverride: 1, Seed: 3})
+	s, err := New(gpuCfg, trace.Synthetic(prof), Options{InstructionsPerWarp: 100000, MaxCycles: 2000, SMOverride: 1, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +209,7 @@ func TestMaxCyclesBoundsRuntime(t *testing.T) {
 
 func TestSimulatorAccessors(t *testing.T) {
 	prof, _ := trace.ProfileByName("2DCONV")
-	s, err := New(config.FermiGPU(config.NewL1DConfig(config.DyFUSE)), prof, quickOpts())
+	s, err := New(config.FermiGPU(config.NewL1DConfig(config.DyFUSE)), trace.Synthetic(prof), quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,13 +242,13 @@ func TestSparseEngineMatchesReference(t *testing.T) {
 			}
 			gpuCfg := config.FermiGPU(config.NewL1DConfig(kind))
 
-			sparse, err := New(gpuCfg, prof, opts)
+			sparse, err := New(gpuCfg, trace.Synthetic(prof), opts)
 			if err != nil {
 				t.Fatal(err)
 			}
 			sparseRes := sparse.Run()
 
-			ref, err := New(gpuCfg, prof, opts)
+			ref, err := New(gpuCfg, trace.Synthetic(prof), opts)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -284,13 +284,13 @@ func TestSparseEngineMatchesReferenceAtCycleLimit(t *testing.T) {
 	}
 	for _, tc := range cases {
 		prof, _ := trace.ProfileByName("SM") // APKI 140: misses immediately
-		sparse, err := New(tc.gpu, prof, tc.opts)
+		sparse, err := New(tc.gpu, trace.Synthetic(prof), tc.opts)
 		if err != nil {
 			t.Fatal(err)
 		}
 		sparseRes := sparse.Run()
 
-		ref, err := New(tc.gpu, prof, tc.opts)
+		ref, err := New(tc.gpu, trace.Synthetic(prof), tc.opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -306,19 +306,23 @@ func TestSparseEngineMatchesReferenceAtCycleLimit(t *testing.T) {
 	}
 }
 
-func TestProfileByNameMirrorsTrace(t *testing.T) {
-	// profileByName is RunWorkload's single lookup point; it must behave
-	// exactly like trace.ProfileByName for known and unknown names.
-	if _, ok := profileByName("no-such-workload"); ok {
-		t.Errorf("unknown workload should not resolve")
+func TestRunWorkloadResolvesThroughRegistry(t *testing.T) {
+	// RunWorkload's single lookup path is the trace registry: a workload
+	// registered there — builtin or custom — is runnable by name.
+	custom := trace.Profile{
+		Name: "sim-registry-custom", Suite: "Custom", APKI: 30,
+		Mix:              trace.ReadLevelMix{WM: 0.2, ReadIntensive: 0.1, WORM: 0.6, WORO: 0.1},
+		WorkingSetBlocks: 200, Irregular: 0.3, WORMReuse: 3,
 	}
-	got, ok := profileByName("ATAX")
-	if !ok {
-		t.Fatalf("ATAX should resolve")
+	if err := trace.RegisterProfile(custom); err != nil {
+		t.Fatal(err)
 	}
-	want, _ := trace.ProfileByName("ATAX")
-	if got.Name != want.Name || got.APKI != want.APKI || got.Suite != want.Suite {
-		t.Errorf("profileByName should mirror trace.ProfileByName: %+v vs %+v", got, want)
+	res, err := RunWorkload(config.DyFUSE, "sim-registry-custom", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload != "sim-registry-custom" || res.Instructions == 0 {
+		t.Errorf("custom workload should run by name: %+v", res.Workload)
 	}
 }
 
@@ -330,5 +334,64 @@ func TestDefaultsApplied(t *testing.T) {
 	var r Result
 	if r.SpeedupOver(Result{}) != 0 {
 		t.Errorf("speedup over a zero-IPC baseline should be 0")
+	}
+}
+
+func TestRecordReplayReproducesResult(t *testing.T) {
+	// Recording a run and replaying its trace under the same configuration
+	// must produce the identical Result struct — the property the CLI's
+	// record→replay round trip (and the CI workload-smoke job) relies on.
+	prof, _ := trace.ProfileByName("ATAX")
+	gpuCfg := config.FermiGPU(config.NewL1DConfig(config.DyFUSE))
+	opts := quickOpts()
+
+	rec := trace.NewRecorder(trace.Synthetic(prof))
+	s, err := New(gpuCfg, rec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recorded := s.Run()
+
+	tr := rec.Trace(trace.TraceMeta{Workload: "ATAX", Seed: opts.Seed})
+	rs, err := New(gpuCfg, tr.Workload(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := rs.Run()
+	if recorded != replayed {
+		t.Errorf("replayed result differs from the recorded run:\nrec: %+v\nrep: %+v", recorded, replayed)
+	}
+
+	// The recorder itself is passive: an unrecorded run matches too.
+	plain, err := New(gpuCfg, trace.Synthetic(prof), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := plain.Run(); res != recorded {
+		t.Errorf("recording must not perturb the simulation:\nplain: %+v\nrec:   %+v", res, recorded)
+	}
+}
+
+func TestPhasedWorkloadRunsDeterministically(t *testing.T) {
+	atax, _ := trace.ProfileByName("ATAX")
+	pathf, _ := trace.ProfileByName("pathf")
+	w := trace.NewPhased("sim-phased", []trace.Phase{
+		{Profile: pathf, Instructions: 2000},
+		{Profile: atax},
+	})
+	gpuCfg := config.FermiGPU(config.NewL1DConfig(config.DyFUSE))
+	run := func() Result {
+		s, err := New(gpuCfg, w, quickOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Run()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("phased workload must simulate deterministically:\na: %+v\nb: %+v", a, b)
+	}
+	if a.Workload != "sim-phased" || a.Instructions == 0 {
+		t.Errorf("phased workload result malformed: %+v", a)
 	}
 }

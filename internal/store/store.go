@@ -4,10 +4,11 @@
 // and the fuseserve front door.
 //
 // Key scheme: the SHA-256 hex digest of the canonical JSON encoding of the
-// key material — a schema version plus config.GPUConfig, trace.Profile and
-// sim.Options (defaults applied). Canonical means object keys are sorted and
-// numbers are preserved verbatim, so the key does not depend on the order in
-// which fields were encoded.
+// key material — a schema version plus config.GPUConfig, the workload's own
+// canonical key material (trace.Workload.KeyMaterial; exactly the Profile
+// encoding for synthetic workloads) and sim.Options (defaults applied).
+// Canonical means object keys are sorted and numbers are preserved verbatim,
+// so the key does not depend on the order in which fields were encoded.
 //
 // Disk layout: one versioned JSON envelope per result at
 // <dir>/<key[:2]>/<key>.json, written atomically (temp file + rename).
@@ -45,11 +46,15 @@ import (
 // backends); every v1 result carries the old optimistic off-chip timing.
 const SchemaVersion = 2
 
-// keyMaterial is everything that determines a simulation's outcome.
+// keyMaterial is everything that determines a simulation's outcome. The
+// workload slot holds the workload's own canonical key material verbatim
+// (trace.Workload.KeyMaterial): for synthetic workloads that is exactly the
+// Profile's JSON encoding, so every key minted before the workload API
+// existed — when this struct embedded trace.Profile directly — is unchanged.
 type keyMaterial struct {
 	Schema  int              `json:"schema"`
 	GPU     config.GPUConfig `json:"gpu"`
-	Profile trace.Profile    `json:"profile"`
+	Profile json.RawMessage  `json:"profile"`
 	Options sim.Options      `json:"options"`
 }
 
@@ -58,11 +63,18 @@ type keyMaterial struct {
 // canonicalised with their defaults applied first, and the GPU's off-chip
 // memory fields are resolved the way the controller resolves them, so two
 // configs describing the same simulation address the same stored result.
-func Key(gpu config.GPUConfig, prof trace.Profile, opts sim.Options) (string, error) {
+func Key(gpu config.GPUConfig, workload trace.Workload, opts sim.Options) (string, error) {
+	if workload == nil {
+		return "", fmt.Errorf("store: nil workload")
+	}
+	material, err := workload.KeyMaterial()
+	if err != nil {
+		return "", fmt.Errorf("store: encoding workload key material: %w", err)
+	}
 	raw, err := json.Marshal(keyMaterial{
 		Schema:  SchemaVersion,
 		GPU:     gpu.WithMemDefaults(),
-		Profile: prof,
+		Profile: material,
 		Options: opts.WithDefaults(),
 	})
 	if err != nil {

@@ -2,6 +2,9 @@ package store
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"math"
 	"math/rand"
 	"os"
@@ -105,35 +108,35 @@ func TestKeyDeterministicAndSensitive(t *testing.T) {
 	prof, _ := trace.ProfileByName("ATAX")
 	opts := sim.Options{InstructionsPerWarp: 200, SMOverride: 2, Seed: 42}
 
-	k1, err := Key(gpu, prof, opts)
+	k1, err := Key(gpu, trace.Synthetic(prof), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !ValidKey(k1) {
 		t.Fatalf("key %q is not 64 lowercase hex digits", k1)
 	}
-	k2, _ := Key(gpu, prof, opts)
+	k2, _ := Key(gpu, trace.Synthetic(prof), opts)
 	if k1 != k2 {
 		t.Errorf("key not deterministic: %s vs %s", k1, k2)
 	}
 	// Defaults applied: a zero field and its explicit default are the same
 	// simulation and must share a key.
-	kDefaulted, _ := Key(gpu, prof, sim.Options{InstructionsPerWarp: 200, SMOverride: 2, Seed: 42, MaxCycles: 4_000_000, RequestBytes: 32})
+	kDefaulted, _ := Key(gpu, trace.Synthetic(prof), sim.Options{InstructionsPerWarp: 200, SMOverride: 2, Seed: 42, MaxCycles: 4_000_000, RequestBytes: 32})
 	if kDefaulted != k1 {
 		t.Errorf("explicitly defaulted options should hash identically")
 	}
 	// Any material change must change the key.
-	kSeed, _ := Key(gpu, prof, sim.Options{InstructionsPerWarp: 200, SMOverride: 2, Seed: 43})
+	kSeed, _ := Key(gpu, trace.Synthetic(prof), sim.Options{InstructionsPerWarp: 200, SMOverride: 2, Seed: 43})
 	if kSeed == k1 {
 		t.Errorf("seed change should change the key")
 	}
 	prof2, _ := trace.ProfileByName("GEMM")
-	kProf, _ := Key(gpu, prof2, opts)
+	kProf, _ := Key(gpu, trace.Synthetic(prof2), opts)
 	if kProf == k1 {
 		t.Errorf("profile change should change the key")
 	}
 	gpu2 := config.FermiGPU(config.NewL1DConfig(config.L1SRAM))
-	kGPU, _ := Key(gpu2, prof, opts)
+	kGPU, _ := Key(gpu2, trace.Synthetic(prof), opts)
 	if kGPU == k1 {
 		t.Errorf("GPU configuration change should change the key")
 	}
@@ -187,7 +190,7 @@ func TestDiskPutGetAndCorruptEntriesAreMisses(t *testing.T) {
 	res := sampleResult(rand.New(rand.NewSource(3)))
 	gpu := config.FermiGPU(config.NewL1DConfig(config.BaseFUSE))
 	prof, _ := trace.ProfileByName("GEMM")
-	key, err := Key(gpu, prof, sim.Options{})
+	key, err := Key(gpu, trace.Synthetic(prof), sim.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,11 +310,11 @@ func TestKeyCanonicalisesMemoryConfig(t *testing.T) {
 	implicit.DRAMBurstCycles = 0
 	implicit.DRAMQueueDepth = 0
 
-	ke, err := Key(explicit, prof, opts)
+	ke, err := Key(explicit, trace.Synthetic(prof), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ki, err := Key(implicit, prof, opts)
+	ki, err := Key(implicit, trace.Synthetic(prof), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -324,8 +327,8 @@ func TestKeyCanonicalisesMemoryConfig(t *testing.T) {
 	hbmA.MemBackend = "HBM2"
 	hbmB := hbmA
 	hbmB.TCL = 99
-	ka, _ := Key(hbmA, prof, opts)
-	kb, _ := Key(hbmB, prof, opts)
+	ka, _ := Key(hbmA, trace.Synthetic(prof), opts)
+	kb, _ := Key(hbmB, trace.Synthetic(prof), opts)
 	if ka != kb {
 		t.Errorf("backend-ignored timing fields must not change the key")
 	}
@@ -333,5 +336,120 @@ func TestKeyCanonicalisesMemoryConfig(t *testing.T) {
 	// A different backend is a different simulation.
 	if ka == ke {
 		t.Errorf("backend must be part of the key")
+	}
+}
+
+// legacyKeyMaterial replicates, field for field, the key material this
+// package hashed before the workload API existed, when the Profile struct
+// was embedded directly. TestBuiltinKeysPinned re-derives every builtin key
+// through it: if the workload redesign (or any later change) alters the
+// canonical bytes of a builtin profile's key, existing v2 store entries
+// would silently become misses — this test fails first.
+type legacyKeyMaterial struct {
+	Schema  int              `json:"schema"`
+	GPU     config.GPUConfig `json:"gpu"`
+	Profile trace.Profile    `json:"profile"`
+	Options sim.Options      `json:"options"`
+}
+
+func legacyKey(t *testing.T, gpu config.GPUConfig, prof trace.Profile, opts sim.Options) string {
+	t.Helper()
+	raw, err := json.Marshal(legacyKeyMaterial{
+		Schema:  SchemaVersion,
+		GPU:     gpu.WithMemDefaults(),
+		Profile: prof,
+		Options: opts.WithDefaults(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, err := canonicalJSON(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(canon)
+	return hex.EncodeToString(sum[:])
+}
+
+// goldenATAXKey is the store key of (Fermi Dy-FUSE, ATAX, default options)
+// as minted by the pre-workload-API implementation. A literal constant, not
+// a derived value: it catches changes that would slip through if both sides
+// of a comparison were recomputed (e.g. renaming a Profile field).
+const goldenATAXKey = "e9078ad3450d6ce0e67b9d4749630b77cf7f754cce13a3e916f3fc2153dfef36"
+
+func TestBuiltinKeysPinned(t *testing.T) {
+	if SchemaVersion != 2 {
+		t.Fatalf("SchemaVersion = %d; the workload redesign must not bump it", SchemaVersion)
+	}
+	for _, kind := range []config.L1DKind{config.L1SRAM, config.DyFUSE} {
+		gpu := config.FermiGPU(config.NewL1DConfig(kind))
+		for _, prof := range trace.Profiles() {
+			if !trace.IsBuiltin(prof.Name) {
+				continue // other tests may have registered custom profiles
+			}
+			want := legacyKey(t, gpu, prof, sim.Options{})
+			got, err := Key(gpu, trace.Synthetic(prof), sim.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("%s/%s: key changed: %s != legacy %s", kind, prof.Name, got, want)
+			}
+		}
+	}
+	prof, _ := trace.ProfileByName("ATAX")
+	got, err := Key(config.FermiGPU(config.NewL1DConfig(config.DyFUSE)), trace.Synthetic(prof), sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != goldenATAXKey {
+		t.Errorf("golden ATAX key changed:\n got %s\nwant %s", got, goldenATAXKey)
+	}
+}
+
+func TestCustomWorkloadKeysDistinctAndStable(t *testing.T) {
+	gpu := config.FermiGPU(config.NewL1DConfig(config.DyFUSE))
+	custom := trace.Profile{
+		Name: "store-custom", Suite: "Custom", Description: "high-APKI write-heavy",
+		APKI: 120, Mix: trace.ReadLevelMix{WM: 0.35, ReadIntensive: 0.25, WORM: 0.3, WORO: 0.1},
+		WorkingSetBlocks: 420, Irregular: 0.4, WORMReuse: 3,
+	}
+	k1, err := Key(gpu, trace.Synthetic(custom), sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := Key(gpu, trace.Synthetic(custom), sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Errorf("custom workload key must be stable: %s != %s", k1, k2)
+	}
+	builtin := map[string]bool{}
+	for _, prof := range trace.Profiles() {
+		k, err := Key(gpu, trace.Synthetic(prof), sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		builtin[k] = true
+	}
+	if builtin[k1] {
+		t.Errorf("custom workload key collides with a builtin key")
+	}
+
+	// A phased workload over a builtin keys differently from the builtin
+	// itself (the kind discriminator keeps the material disjoint).
+	atax, _ := trace.ProfileByName("ATAX")
+	phased := trace.NewPhased("store-phased", []trace.Phase{{Profile: atax}})
+	pk, err := Key(gpu, phased, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if builtin[pk] || pk == k1 {
+		t.Errorf("phased workload key must be distinct")
+	}
+	pk2, _ := Key(gpu, trace.NewPhased("store-phased", []trace.Phase{{Profile: atax}}), sim.Options{})
+	if pk != pk2 {
+		t.Errorf("phased workload key must be stable")
 	}
 }

@@ -111,32 +111,6 @@ var profiles = []Profile{
 	{Name: "histo", Suite: "Parboil", Description: "saturating histogram", APKI: 9.6, Mix: ReadLevelMix{0.15, 0.15, 0.60, 0.10}, WorkingSetBlocks: 280, Irregular: 0.50, WORMReuse: 3, PaperBypassRatio: 0.63},
 }
 
-// Profiles returns the 21 benchmark profiles in the paper's figure order.
-func Profiles() []Profile {
-	out := make([]Profile, len(profiles))
-	copy(out, profiles)
-	return out
-}
-
-// Names returns the benchmark names in figure order.
-func Names() []string {
-	out := make([]string, len(profiles))
-	for i, p := range profiles {
-		out[i] = p.Name
-	}
-	return out
-}
-
-// ProfileByName looks a profile up by its paper name.
-func ProfileByName(name string) (Profile, bool) {
-	for _, p := range profiles {
-		if p.Name == name {
-			return p, true
-		}
-	}
-	return Profile{}, false
-}
-
 // MotivationWorkloads returns the seven memory-intensive workloads used in
 // the paper's Figure 3 motivation study.
 func MotivationWorkloads() []string {

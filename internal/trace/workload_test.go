@@ -1,0 +1,476 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// drive pulls n instructions from a source with the reference warp
+// interleaving and returns them.
+func drive(src Source, n int) []Instruction {
+	out := make([]Instruction, n)
+	for i := range out {
+		out[i] = src.Next(i % referenceWarps)
+	}
+	return out
+}
+
+// mustSource builds the workload's source for one SM or fails the test.
+func mustSource(t *testing.T, w Workload, sm int, seed uint64) Source {
+	t.Helper()
+	src, err := w.NewSource(sm, seed)
+	if err != nil {
+		t.Fatalf("NewSource(%d): %v", sm, err)
+	}
+	return src
+}
+
+// customProfile is a valid non-builtin profile for tests.
+func customProfile(name string) Profile {
+	return Profile{
+		Name: name, Suite: "Custom", Description: "test profile",
+		APKI: 50, Mix: ReadLevelMix{WM: 0.25, ReadIntensive: 0.15, WORM: 0.45, WORO: 0.15},
+		WorkingSetBlocks: 256, Irregular: 0.5, WORMReuse: 3,
+	}
+}
+
+// TestSourceDeterminism pins the contract every store key depends on: the
+// same (workload, SM, seed) triple yields a byte-identical instruction
+// sequence across two independently constructed sources — for synthetic,
+// phased and replayed workloads.
+func TestSourceDeterminism(t *testing.T) {
+	atax, _ := ProfileByName("ATAX")
+	gemm, _ := ProfileByName("GEMM")
+	synthetic := Synthetic(atax)
+	phased := NewPhased("det-phased", []Phase{
+		{Profile: atax, Instructions: 700},
+		{Profile: gemm, Instructions: 500},
+		{Profile: atax},
+	})
+
+	const n = 5000
+	for _, tc := range []struct {
+		label string
+		w     Workload
+	}{
+		{"synthetic", synthetic},
+		{"phased", phased},
+	} {
+		for _, sm := range []int{0, 3} {
+			a := drive(mustSource(t, tc.w, sm, 42), n)
+			b := drive(mustSource(t, tc.w, sm, 42), n)
+			if !instructionsEqual(a, b) {
+				t.Errorf("%s: SM %d: two sources over the same (workload, SM, seed) diverged", tc.label, sm)
+			}
+			// A different seed or SM must (overwhelmingly) change the stream.
+			c := drive(mustSource(t, tc.w, sm, 43), n)
+			if instructionsEqual(a, c) {
+				t.Errorf("%s: SM %d: seed change did not change the stream", tc.label, sm)
+			}
+		}
+	}
+
+	// Replay: record a stream, then two independent replay sources must both
+	// reproduce it exactly.
+	rec := NewRecorder(synthetic)
+	recorded := drive(mustSource(t, rec, 0, 42), n)
+	tr := rec.Trace(TraceMeta{Workload: "ATAX", Seed: 42})
+	replay := tr.Workload()
+	a := drive(mustSource(t, replay, 0, 42), n)
+	b := drive(mustSource(t, replay, 0, 99), n) // replay ignores the seed
+	if !instructionsEqual(recorded, a) || !instructionsEqual(recorded, b) {
+		t.Errorf("replay must reproduce the recorded stream bit-identically")
+	}
+}
+
+func instructionsEqual(a, b []Instruction) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPhasedSourceSwitchesAtBudget(t *testing.T) {
+	atax, _ := ProfileByName("ATAX")
+	pathf, _ := ProfileByName("pathf")
+	w := NewPhased("switch-test", []Phase{
+		{Profile: pathf, Instructions: 1000}, // barely touches memory
+		{Profile: atax},                      // memory-bound
+	})
+	src := mustSource(t, w, 0, 7)
+	ps := src.(*phasedSource)
+	drive(src, 1000)
+	if ps.PhaseIndex() != 0 {
+		t.Fatalf("still inside phase 0's budget, got phase %d", ps.PhaseIndex())
+	}
+	drive(src, 1)
+	if ps.PhaseIndex() != 1 {
+		t.Fatalf("budget spent, expected phase 1, got %d", ps.PhaseIndex())
+	}
+	// The phase switch must be visible in the stream statistics: ATAX is far
+	// more memory-intensive than pathf.
+	before := src.MemoryAccesses()
+	drive(src, 20000)
+	after := src.MemoryAccesses()
+	phase1Frac := float64(after-before) / 20000
+	if phase1Frac < 0.3 {
+		t.Errorf("phase 1 (ATAX) should be memory-bound, mem fraction %.3f", phase1Frac)
+	}
+	if src.Generated() != 21001 {
+		t.Errorf("Generated() = %d, want 21001", src.Generated())
+	}
+}
+
+func TestPhasedValidate(t *testing.T) {
+	atax, _ := ProfileByName("ATAX")
+	bad := atax
+	bad.APKI = 0
+	cases := []struct {
+		label string
+		w     *PhasedWorkload
+	}{
+		{"no name", NewPhased("", []Phase{{Profile: atax}})},
+		{"no phases", NewPhased("x", nil)},
+		{"invalid phase profile", NewPhased("x", []Phase{{Profile: bad}})},
+		{"zero budget before last", NewPhased("x", []Phase{{Profile: atax}, {Profile: atax, Instructions: 10}})},
+	}
+	for _, tc := range cases {
+		if err := tc.w.Validate(); err == nil {
+			t.Errorf("%s: expected a validation error", tc.label)
+		}
+	}
+	ok := NewPhased("x", []Phase{{Profile: atax, Instructions: 10}, {Profile: atax}})
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid phased workload rejected: %v", err)
+	}
+}
+
+func TestRegistryValidatesAndRejectsDuplicates(t *testing.T) {
+	// Invalid profiles are rejected at registration.
+	bad := customProfile("registry-bad")
+	bad.WORMReuse = 0
+	if err := RegisterProfile(bad); err == nil {
+		t.Errorf("invalid profile must not register")
+	}
+	if _, ok := Lookup("registry-bad"); ok {
+		t.Errorf("failed registration must not leave an entry behind")
+	}
+
+	// First registration succeeds; identical re-registration is a no-op;
+	// conflicting redefinition is an error.
+	p := customProfile("registry-dup")
+	if err := RegisterProfile(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterProfile(p); err != nil {
+		t.Errorf("identical re-registration should be idempotent: %v", err)
+	}
+	changed := p
+	changed.APKI = 99
+	if err := RegisterProfile(changed); err == nil {
+		t.Errorf("conflicting redefinition must fail")
+	}
+	// Builtin names are equally protected.
+	atax, _ := ProfileByName("ATAX")
+	atax.APKI = 1
+	if err := RegisterProfile(atax); err == nil {
+		t.Errorf("redefining a builtin must fail")
+	}
+	got, ok := ProfileByName("registry-dup")
+	if !ok || got.APKI != p.APKI {
+		t.Errorf("registry returned the wrong profile: %+v", got)
+	}
+}
+
+func TestRegistryViews(t *testing.T) {
+	if got := len(BuiltinNames()); got != 21 {
+		t.Errorf("BuiltinNames() should list the 21 paper benchmarks, got %d", got)
+	}
+	atax, _ := ProfileByName("ATAX")
+	ph := NewPhased("views-phased", []Phase{{Profile: atax}})
+	if err := Register(ph); err != nil {
+		t.Fatal(err)
+	}
+	if IsBuiltin("views-phased") || !IsBuiltin("ATAX") {
+		t.Errorf("IsBuiltin misclassifies")
+	}
+	// Phased workloads appear in WorkloadNames/Lookup but not in the
+	// profile views.
+	if _, ok := ProfileByName("views-phased"); ok {
+		t.Errorf("phased workload must not appear as a profile")
+	}
+	if _, err := LookupWorkload("views-phased"); err != nil {
+		t.Errorf("phased workload must resolve by name: %v", err)
+	}
+	found := false
+	for _, n := range WorkloadNames() {
+		if n == "views-phased" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("WorkloadNames must include registered phased workloads")
+	}
+	for _, n := range Names() {
+		if n == "views-phased" {
+			t.Errorf("Names (profile view) must not include phased workloads")
+		}
+	}
+	if _, err := LookupWorkload("definitely-not-registered"); err == nil ||
+		!strings.Contains(err.Error(), "unknown workload") {
+		t.Errorf("unknown names must fail with the registry's error, got %v", err)
+	}
+}
+
+func TestWorkloadFileRegisters(t *testing.T) {
+	data := []byte(`{
+		"profiles": [
+			{"name": "file-ml", "suite": "ML", "description": "write-heavy",
+			 "apki": 120, "mix": {"wm": 0.35, "readIntensive": 0.25, "worm": 0.3, "woro": 0.1},
+			 "workingSetBlocks": 420, "irregular": 0.4, "wormReuse": 3}
+		],
+		"phased": [
+			{"name": "file-train", "description": "gather then GEMM",
+			 "phases": [{"profile": "file-ml", "instructions": 2000}, {"profile": "GEMM"}]}
+		]
+	}`)
+	f, err := ParseWorkloads(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := f.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "file-ml" || names[1] != "file-train" {
+		t.Errorf("registered names = %v", names)
+	}
+	p, ok := ProfileByName("file-ml")
+	if !ok || p.APKI != 120 || p.Suite != "ML" || p.Mix.WM != 0.35 {
+		t.Errorf("file profile did not round-trip: %+v", p)
+	}
+	w, _ := Lookup("file-train")
+	ph, ok := w.(*PhasedWorkload)
+	if !ok || len(ph.Phases) != 2 || ph.Phases[0].Profile.Name != "file-ml" || ph.Phases[1].Profile.Name != "GEMM" {
+		t.Errorf("phased workload did not resolve: %+v", w)
+	}
+
+	// A suite-less profile defaults to "Custom".
+	f2, _ := ParseWorkloads([]byte(`{"profiles":[{"name":"file-nosuite","apki":10,
+		"mix":{"wm":0.2,"readIntensive":0.2,"worm":0.4,"woro":0.2},
+		"workingSetBlocks":64,"irregular":0,"wormReuse":2}]}`))
+	if _, err := f2.Register(); err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := ProfileByName("file-nosuite"); p.Suite != "Custom" {
+		t.Errorf("suite should default to Custom, got %q", p.Suite)
+	}
+}
+
+func TestWorkloadFileRejectsDefects(t *testing.T) {
+	cases := []struct {
+		label string
+		data  string
+	}{
+		{"unknown field", `{"profiles":[{"name":"x","apki":10,"mix":{"wm":1},"workingSetBlocks":1,"wormReuse":1,"typoKnob":5}]}`},
+		{"invalid mix", `{"profiles":[{"name":"x","apki":10,"mix":{"wm":0.5},"workingSetBlocks":10,"wormReuse":2}]}`},
+		{"unknown phase profile", `{"phased":[{"name":"x","phases":[{"profile":"no-such-profile"}]}]}`},
+		{"malformed json", `{"profiles":`},
+	}
+	for _, tc := range cases {
+		f, err := ParseWorkloads([]byte(tc.data))
+		if err != nil {
+			continue // parse-level rejection is fine
+		}
+		if _, err := f.Register(); err == nil {
+			t.Errorf("%s: expected an error", tc.label)
+		}
+	}
+}
+
+func TestLoadWorkloadFileFromDisk(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.json")
+	content := `{"profiles":[{"name":"disk-prof","apki":20,
+		"mix":{"wm":0.1,"readIntensive":0.2,"worm":0.5,"woro":0.2},
+		"workingSetBlocks":128,"irregular":0.2,"wormReuse":4}]}`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	names, err := LoadWorkloadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "disk-prof" {
+		t.Errorf("names = %v", names)
+	}
+	// Re-loading the same file is idempotent.
+	if _, err := LoadWorkloadFile(path); err != nil {
+		t.Errorf("re-loading an identical file should succeed: %v", err)
+	}
+	if _, err := LoadWorkloadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Errorf("missing file must error")
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	atax, _ := ProfileByName("ATAX")
+	rec := NewRecorder(Synthetic(atax))
+	for sm := 0; sm < 2; sm++ {
+		drive(mustSource(t, rec, sm, 42), 3000)
+	}
+	meta := TraceMeta{Workload: "ATAX", Kind: "Dy-FUSE", InstructionsPerWarp: 100, SMs: 2, Seed: 42}
+	tr := rec.Trace(meta)
+
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta != meta {
+		t.Errorf("meta did not round-trip: %+v vs %+v", got.Meta, meta)
+	}
+	if len(got.Steps) != len(tr.Steps) {
+		t.Fatalf("SM count did not round-trip")
+	}
+	for sm := range tr.Steps {
+		if len(got.Steps[sm]) != len(tr.Steps[sm]) {
+			t.Fatalf("SM %d: step count did not round-trip", sm)
+		}
+		for i := range tr.Steps[sm] {
+			if got.Steps[sm][i] != tr.Steps[sm][i] {
+				t.Fatalf("SM %d step %d: %+v != %+v", sm, i, got.Steps[sm][i], tr.Steps[sm][i])
+			}
+		}
+	}
+	// The serialisation is deterministic: writing again yields the same bytes.
+	var buf2 bytes.Buffer
+	if err := got.Write(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Errorf("trace serialisation must be deterministic")
+	}
+
+	// Corruption is detected.
+	if _, err := ReadTrace(bytes.NewReader(buf.Bytes()[:len(buf.Bytes())-5])); err == nil {
+		t.Errorf("truncated trace must error")
+	}
+	if _, err := ReadTrace(bytes.NewReader([]byte("not a trace"))); err == nil {
+		t.Errorf("bad magic must error")
+	}
+}
+
+func TestReplayDivergence(t *testing.T) {
+	atax, _ := ProfileByName("ATAX")
+	rec := NewRecorder(Synthetic(atax))
+	drive(mustSource(t, rec, 0, 42), 100)
+	tr := rec.Trace(TraceMeta{Workload: "ATAX", Seed: 42})
+	w := tr.Workload()
+
+	// Asking for an SM the trace does not record fails loudly.
+	if _, err := w.NewSource(5, 42); err == nil {
+		t.Errorf("out-of-range SM must error")
+	}
+
+	// Consuming past the recording pads with no-ops and counts divergence,
+	// and the workload aggregates the count across its sources.
+	src := mustSource(t, w, 0, 42)
+	drive(src, 150)
+	rs := src.(*replaySource)
+	if rs.Diverged() != 50 {
+		t.Errorf("Diverged() = %d, want 50", rs.Diverged())
+	}
+	if src.Generated() != 150 {
+		t.Errorf("Generated() = %d, want 150", src.Generated())
+	}
+	if w.Diverged() != 50 {
+		t.Errorf("workload Diverged() = %d, want 50", w.Diverged())
+	}
+
+	// A faithful replay reports zero divergence.
+	w2 := tr.Workload()
+	drive(mustSource(t, w2, 0, 42), 100)
+	if w2.Diverged() != 0 {
+		t.Errorf("faithful replay should not diverge, got %d", w2.Diverged())
+	}
+}
+
+func TestReadTraceRejectsHugeStepCount(t *testing.T) {
+	// A crafted header claiming an enormous step count must fail as a
+	// truncated trace, not attempt the allocation (or panic).
+	data := []byte(traceMagic + `{"meta":{"workload":"x","instructionsPerWarp":1,"sms":1,"seed":1},"steps":[1152921504606846976]}` + "\n" + "short")
+	if _, err := ReadTrace(bytes.NewReader(data)); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Errorf("huge step count should read as a truncated trace, got %v", err)
+	}
+}
+
+func TestWorkloadKeyMaterials(t *testing.T) {
+	atax, _ := ProfileByName("ATAX")
+
+	// Synthetic key material is exactly the Profile encoding (the property
+	// that keeps every pre-redesign store entry valid).
+	m, err := Synthetic(atax).KeyMaterial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := json.Marshal(atax)
+	if !bytes.Equal(m, want) {
+		t.Errorf("synthetic key material must be the raw Profile encoding:\n%s\n%s", m, want)
+	}
+
+	// Phased and replay materials are disjoint from any profile encoding and
+	// from each other (a "kind" discriminator no Profile has).
+	ph := NewPhased("km-phased", []Phase{{Profile: atax}})
+	pm, err := ph.KeyMaterial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder(Synthetic(atax))
+	drive(mustSource(t, rec, 0, 42), 50)
+	rm, err := rec.Trace(TraceMeta{Workload: "ATAX", Seed: 42}).Workload().KeyMaterial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for label, material := range map[string]json.RawMessage{"phased": pm, "replay": rm} {
+		var fields map[string]any
+		if err := json.Unmarshal(material, &fields); err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if fields["kind"] != label {
+			t.Errorf("%s key material must carry kind=%q: %s", label, label, material)
+		}
+	}
+
+	// A recorder is key-transparent: recording does not change the key.
+	recM, _ := NewRecorder(Synthetic(atax)).KeyMaterial()
+	if !bytes.Equal(recM, want) {
+		t.Errorf("recorder must not change the key material")
+	}
+
+	// Two identical recordings share a replay key; different recordings get
+	// different keys (content-addressed digest).
+	rec2 := NewRecorder(Synthetic(atax))
+	drive(mustSource(t, rec2, 0, 42), 50)
+	rm2, _ := rec2.Trace(TraceMeta{Workload: "ATAX", Seed: 42}).Workload().KeyMaterial()
+	if !bytes.Equal(rm, rm2) {
+		t.Errorf("identical recordings must produce identical replay keys")
+	}
+	rec3 := NewRecorder(Synthetic(atax))
+	drive(mustSource(t, rec3, 0, 42), 60)
+	rm3, _ := rec3.Trace(TraceMeta{Workload: "ATAX", Seed: 42}).Workload().KeyMaterial()
+	if bytes.Equal(rm, rm3) {
+		t.Errorf("different recordings must produce different replay keys")
+	}
+}
