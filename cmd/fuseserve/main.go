@@ -35,6 +35,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -51,6 +52,7 @@ func main() {
 		scaleName = flag.String("scale", "bench", "simulation scale: quick, bench or full")
 		storeDir  = flag.String("store", "", "persistent result-store directory shared with fusesim/fusetables (empty = memory only)")
 		parallel  = flag.Int("parallel", 0, "number of concurrent simulations (0 = GOMAXPROCS)")
+		simCap    = flag.Int("simworkers", runtime.GOMAXPROCS(0), "cap on the per-simulation worker goroutines a batch may request (0 = always sequential)")
 		timeout   = flag.Duration("timeout", 0, "per-request timeout (0 = no limit)")
 		backend   = flag.String("backend", "", "default memory backend for batch jobs and figures (GDDR5, GDDR5X, HBM2, STT-MRAM; empty = each GPU model's default)")
 		workFile  = flag.String("workloads", "", "workload file (JSON) of custom profiles and phased workloads to register at startup")
@@ -101,7 +103,7 @@ func main() {
 	cache := store.NewTiered(tiers...)
 
 	runner := engine.New(engine.Config{Workers: *parallel, Cache: cache})
-	handler := newServer(scale, runner, cache, *timeout, *backend)
+	handler := newServer(scale, runner, cache, *timeout, *backend, *simCap)
 
 	if *storeDir != "" {
 		log.Printf("fuseserve: store %s, scale %s, %d workers, listening on %s",

@@ -38,19 +38,27 @@ type server struct {
 	// backend is the server-wide default memory backend ("" = each GPU
 	// model's own); batch requests may override it per batch.
 	backend string
+	// simWorkers caps the per-simulation worker goroutines a batch may
+	// request (0 = batches run sequential simulations regardless of what
+	// they ask for). The Runner's own oversubscription clamp applies on
+	// top, so pool × per-simulation workers never exceeds the core budget.
+	simWorkers int
 }
 
 // newServer wires the API routes. results is the cache consulted by
 // GET /v1/result (usually the same tiered cache the Runner writes through).
-func newServer(scale experiments.Scale, runner *engine.Runner, results store.Cache, timeout time.Duration, backend string) http.Handler {
+// simWorkers is the server-wide cap on the per-simulation worker goroutines
+// a batch may request.
+func newServer(scale experiments.Scale, runner *engine.Runner, results store.Cache, timeout time.Duration, backend string, simWorkers int) http.Handler {
 	matrix := experiments.NewMatrixRunner(scale, runner)
 	matrix.SetBackend(backend)
 	s := &server{
-		matrix:  matrix,
-		runner:  runner,
-		results: results,
-		timeout: timeout,
-		backend: backend,
+		matrix:     matrix,
+		runner:     runner,
+		results:    results,
+		timeout:    timeout,
+		backend:    backend,
+		simWorkers: simWorkers,
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
@@ -129,6 +137,10 @@ type batchOptions struct {
 	// Backend overrides the memory backend (see dram.Backends) for every
 	// job of the batch; empty inherits the server's -backend default.
 	Backend string `json:"backend,omitempty"`
+	// SimWorkers requests parallel execution of each simulation in the
+	// batch with this many worker goroutines. The value is clamped to the
+	// server's -simworkers cap; results are byte-identical regardless.
+	SimWorkers int `json:"simWorkers,omitempty"`
 }
 
 // batchRequest is the body of POST /v1/batch. Workloads, when present, is an
@@ -184,7 +196,11 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	opts := s.matrix.Scale().Options()
 	backend := s.backend
+	simWorkers := 1 // sequential unless the batch asks for more
 	if o := req.Options; o != nil {
+		if o.SimWorkers > 0 {
+			simWorkers = max(1, min(o.SimWorkers, s.simWorkers))
+		}
 		if o.InstructionsPerWarp > 0 {
 			opts.InstructionsPerWarp = o.InstructionsPerWarp
 		}
@@ -218,6 +234,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if backend != "" {
 			job = engine.BackendJob(kind, j.Workload, backend, opts)
 		}
+		job.SimWorkers = simWorkers
 		jobs = append(jobs, job)
 	}
 

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -34,7 +35,7 @@ func newTestServer(t *testing.T, dir string, execs *atomic.Int32) *httptest.Serv
 			return engine.Execute(ctx, job)
 		},
 	})
-	ts := httptest.NewServer(newServer(experiments.QuickScale, runner, cache, time.Minute, ""))
+	ts := httptest.NewServer(newServer(experiments.QuickScale, runner, cache, time.Minute, "", 8))
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -271,7 +272,7 @@ func TestPerRequestTimeout(t *testing.T) {
 			return sim.Result{}, ctx.Err()
 		},
 	})
-	ts := httptest.NewServer(newServer(experiments.QuickScale, runner, cache, 50*time.Millisecond, ""))
+	ts := httptest.NewServer(newServer(experiments.QuickScale, runner, cache, 50*time.Millisecond, "", 8))
 	defer ts.Close()
 
 	resp, _ := postBatch(t, ts, `{"jobs":[{"kind":"Dy-FUSE","workload":"ATAX"}]}`)
@@ -426,5 +427,54 @@ func TestBatchInlineWorkloadDefinitions(t *testing.T) {
 	resp6, _ := postBatch(t, ts, `{"jobs":[{"kind":"Dy-FUSE","workload":"srv-leak"}]}`)
 	if resp6.StatusCode != http.StatusBadRequest {
 		t.Errorf("rejected definition block must not register its valid entries, got %d", resp6.StatusCode)
+	}
+}
+
+func TestBatchSimWorkersClampedAndDeterministic(t *testing.T) {
+	// A custom executor captures the per-job sim-worker counts the server
+	// resolves; the clamp is the server-wide cap passed to newServer.
+	var seen []int
+	var mu sync.Mutex
+	cache := store.NewTiered(store.NewMemory())
+	runner := engine.New(engine.Config{
+		Cache: cache,
+		Exec: func(ctx context.Context, job engine.Job) (sim.Result, error) {
+			mu.Lock()
+			seen = append(seen, job.SimWorkers)
+			mu.Unlock()
+			return engine.Execute(ctx, job)
+		},
+	})
+	ts := httptest.NewServer(newServer(experiments.QuickScale, runner, cache, time.Minute, "", 2))
+	t.Cleanup(ts.Close)
+
+	// Request far more sim workers than the server cap of 2.
+	resp, br := postBatch(t, ts, `{"jobs":[{"kind":"L1-SRAM","workload":"ATAX"}],
+		"options":{"simWorkers":64}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	parallel := *br.Results[0].Result
+
+	mu.Lock()
+	got := append([]int(nil), seen...)
+	mu.Unlock()
+	if len(got) != 1 || got[0] > 2 {
+		t.Fatalf("sim workers not clamped to the server cap: %v", got)
+	}
+
+	// The same job without simWorkers (sequential) must hit the store —
+	// parallel execution cannot change the content-addressed key — and
+	// return the identical result.
+	execsBefore := runner.Executed()
+	resp, br = postBatch(t, ts, `{"jobs":[{"kind":"L1-SRAM","workload":"ATAX"}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if runner.Executed() != execsBefore {
+		t.Errorf("sequential re-request should be served from the store")
+	}
+	if *br.Results[0].Result != parallel {
+		t.Errorf("parallel and sequential batch results differ")
 	}
 }

@@ -74,6 +74,10 @@ type MSHR struct {
 	entries    map[uint64]*MSHREntry
 	// order preserves allocation order so that PopUnissued is fair.
 	order []uint64
+	// free recycles released entries (see Recycle): the MSHR working set is
+	// bounded by maxEntries, so the steady state of a miss-heavy run
+	// allocates no entry structs at all.
+	free []*MSHREntry
 
 	peakOccupancy int
 	mergedCount   uint64
@@ -146,7 +150,15 @@ func (m *MSHR) Allocate(req mem.Request, dest DestBank, level mem.ReadLevel) (bo
 		m.fullStalls++
 		return false, ErrMSHRFull
 	}
-	m.entries[block] = &MSHREntry{Block: block, Primary: req, Dest: dest, Level: level}
+	var e *MSHREntry
+	if n := len(m.free); n > 0 {
+		e = m.free[n-1]
+		m.free = m.free[:n-1]
+		*e = MSHREntry{Block: block, Primary: req, Merged: e.Merged[:0], Dest: dest, Level: level}
+	} else {
+		e = &MSHREntry{Block: block, Primary: req, Dest: dest, Level: level}
+	}
+	m.entries[block] = e
 	m.order = append(m.order, block)
 	m.allocCount++
 	if len(m.entries) > m.peakOccupancy {
@@ -184,6 +196,16 @@ func (m *MSHR) Release(block uint64) (*MSHREntry, bool) {
 		}
 	}
 	return e, true
+}
+
+// Recycle returns a released entry to the MSHR's free list so a later
+// Allocate can reuse it. Callers hand the entry back once they are done with
+// its fields; the entry must not be used afterwards.
+func (m *MSHR) Recycle(e *MSHREntry) {
+	if e == nil {
+		return
+	}
+	m.free = append(m.free, e)
 }
 
 // Reset clears all entries and statistics.

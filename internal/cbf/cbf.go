@@ -88,19 +88,18 @@ func (f *CountingBloomFilter) Slots() int { return len(f.counters) }
 // Hashes returns the number of hash functions.
 func (f *CountingBloomFilter) Hashes() int { return f.hashes }
 
-// keys returns the counter indices selected by the hash functions for x.
-func (f *CountingBloomFilter) keys(x uint64) []int {
-	out := make([]int, f.hashes)
-	for i := 0; i < f.hashes; i++ {
-		h := mix64(x ^ hashSeeds[i])
-		out[i] = int(h % uint64(len(f.counters)))
-	}
-	return out
+// key returns the counter index selected by hash function i for x. The hash
+// functions are evaluated one at a time so the membership operations — the
+// single hottest path of the whole simulator — never materialise an index
+// slice on the heap.
+func (f *CountingBloomFilter) key(i int, x uint64) int {
+	return int(mix64(x^hashSeeds[i]) % uint64(len(f.counters)))
 }
 
 // Insert increments the counters for x ("increment" operation in the paper).
 func (f *CountingBloomFilter) Insert(x uint64) {
-	for _, k := range f.keys(x) {
+	for i := 0; i < f.hashes; i++ {
+		k := f.key(i, x)
 		if f.counters[k] < f.counterMax {
 			f.counters[k]++
 		} else {
@@ -119,8 +118,8 @@ func (f *CountingBloomFilter) Remove(x uint64) {
 	if f.truth[x] == 0 {
 		return
 	}
-	for _, k := range f.keys(x) {
-		if f.counters[k] > 0 {
+	for i := 0; i < f.hashes; i++ {
+		if k := f.key(i, x); f.counters[k] > 0 {
 			f.counters[k]--
 		}
 	}
@@ -136,8 +135,8 @@ func (f *CountingBloomFilter) Remove(x uint64) {
 // ("positive", possibly false).
 func (f *CountingBloomFilter) Test(x uint64) bool {
 	f.tests.Inc()
-	for _, k := range f.keys(x) {
-		if f.counters[k] == 0 {
+	for i := 0; i < f.hashes; i++ {
+		if f.counters[f.key(i, x)] == 0 {
 			return false
 		}
 	}

@@ -41,8 +41,17 @@ type HybridL1D struct {
 	// per-request retries never charge the same cycle twice.
 	sttStallChargedUntil int64
 
+	// outgoing is a head-indexed FIFO of misses and write-backs bound for
+	// the interconnect; outHead avoids the per-pop reslice that used to
+	// leak the backing array's capacity.
 	outgoing []mem.Request
-	stats    Stats
+	outHead  int
+	// fillBuf is the reusable waiting-request buffer Fill returns; it is
+	// valid until the next Fill call.
+	fillBuf []mem.Request
+	// dropScratch is the reusable keep-list of dropQueuedOp.
+	dropScratch []TagOp
+	stats       Stats
 
 	// DebugJudge, when non-nil, histograms judged predictions by
 	// "<level>/<outcome>" (temporary instrumentation).
@@ -381,24 +390,29 @@ func (h *HybridL1D) miss(req mem.Request, block uint64, now int64, write bool) A
 
 // Fill implements L1D: the MSHR's destination bits steer the returning block
 // into the SRAM bank, the STT-MRAM bank (via the tag queue when present) or
-// straight to the core (bypass).
+// straight to the core (bypass). The returned slice is owned by the cache and
+// valid until the next Fill call.
 func (h *HybridL1D) Fill(block uint64, now int64) []mem.Request {
 	entry, ok := h.mshr.Release(block)
 	if !ok {
 		return nil
 	}
-	waiting := entry.Requests()
+	h.fillBuf = append(h.fillBuf[:0], entry.Primary)
+	h.fillBuf = append(h.fillBuf, entry.Merged...)
 	write := entry.Primary.Kind == mem.Write
+	pc := entry.Primary.PC
+	dest, level := entry.Dest, entry.Level
+	h.mshr.Recycle(entry)
 
-	switch entry.Dest {
+	switch dest {
 	case cache.DestBypass:
 		// Nothing to allocate.
 	case cache.DestSRAM:
-		h.insertSRAM(block, entry.Primary.PC, now, write, entry.Level, write)
+		h.insertSRAM(block, pc, now, write, level, write)
 	case cache.DestSTTMRAM:
-		h.fillSTT(block, entry.Primary.PC, now, write, entry.Level)
+		h.fillSTT(block, pc, now, write, level)
 	}
-	return waiting
+	return h.fillBuf
 }
 
 // insertSRAM allocates a block in the SRAM bank and handles the resulting
@@ -506,7 +520,7 @@ func (h *HybridL1D) dropQueuedOp(block uint64) (TagOp, bool) {
 	}
 	var dropped TagOp
 	found := false
-	kept := make([]TagOp, 0, h.queue.Len())
+	kept := h.dropScratch[:0]
 	for {
 		op, ok := h.queue.Pop()
 		if !ok {
@@ -522,6 +536,7 @@ func (h *HybridL1D) dropQueuedOp(block uint64) (TagOp, bool) {
 	for _, op := range kept {
 		h.queue.Push(op)
 	}
+	h.dropScratch = kept
 	return dropped, found
 }
 
@@ -572,11 +587,15 @@ func (h *HybridL1D) writeback(line cache.Line, now int64) {
 
 // PopOutgoing implements L1D.
 func (h *HybridL1D) PopOutgoing() (mem.Request, bool) {
-	if len(h.outgoing) == 0 {
+	if h.outHead >= len(h.outgoing) {
 		return mem.Request{}, false
 	}
-	req := h.outgoing[0]
-	h.outgoing = h.outgoing[1:]
+	req := h.outgoing[h.outHead]
+	h.outHead++
+	if h.outHead == len(h.outgoing) {
+		h.outgoing = h.outgoing[:0]
+		h.outHead = 0
+	}
 	return req, true
 }
 
@@ -627,6 +646,7 @@ func (h *HybridL1D) Reset() {
 	}
 	h.blockedUntil = 0
 	h.sttStallChargedUntil = 0
-	h.outgoing = nil
+	h.outgoing = h.outgoing[:0]
+	h.outHead = 0
 	h.stats = Stats{}
 }

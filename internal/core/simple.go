@@ -21,8 +21,12 @@ type SimpleL1D struct {
 	// deadWrite is non-nil only for By-NVM.
 	deadWrite *predictor.DeadWritePredictor
 
+	// outgoing is a head-indexed FIFO (see HybridL1D.outgoing).
 	outgoing []mem.Request
-	stats    Stats
+	outHead  int
+	// fillBuf is the reusable waiting-request buffer Fill returns.
+	fillBuf []mem.Request
+	stats   Stats
 }
 
 // newSimpleL1D builds a SimpleL1D from a pure-SRAM or pure-STT configuration.
@@ -156,18 +160,23 @@ func (s *SimpleL1D) Access(req mem.Request, now int64) AccessResult {
 	return AccessResult{Outcome: OutcomeMissMerged, Bank: dest}
 }
 
-// Fill implements L1D.
+// Fill implements L1D. The returned slice is owned by the cache and valid
+// until the next Fill call.
 func (s *SimpleL1D) Fill(block uint64, now int64) []mem.Request {
 	entry, ok := s.mshr.Release(block)
 	if !ok {
 		return nil
 	}
-	waiting := entry.Requests()
-	if entry.Dest == cache.DestBypass {
-		return waiting
-	}
+	s.fillBuf = append(s.fillBuf[:0], entry.Primary)
+	s.fillBuf = append(s.fillBuf, entry.Merged...)
 	write := entry.Primary.Kind == mem.Write
-	evicted, _ := s.store.Insert(block, entry.Primary.PC, now, write, entry.Level)
+	pc := entry.Primary.PC
+	dest, level := entry.Dest, entry.Level
+	s.mshr.Recycle(entry)
+	if dest == cache.DestBypass {
+		return s.fillBuf
+	}
+	evicted, _ := s.store.Insert(block, pc, now, write, level)
 	s.bank.Access(now, true) // the fill itself is a bank write
 	s.recordBankAccess(true)
 	if evicted.Valid {
@@ -176,7 +185,7 @@ func (s *SimpleL1D) Fill(block uint64, now int64) []mem.Request {
 			s.writeback(evicted, now)
 		}
 	}
-	return waiting
+	return s.fillBuf
 }
 
 // writeback queues a dirty eviction toward the L2.
@@ -194,11 +203,15 @@ func (s *SimpleL1D) writeback(line cache.Line, now int64) {
 
 // PopOutgoing implements L1D.
 func (s *SimpleL1D) PopOutgoing() (mem.Request, bool) {
-	if len(s.outgoing) == 0 {
+	if s.outHead >= len(s.outgoing) {
 		return mem.Request{}, false
 	}
-	req := s.outgoing[0]
-	s.outgoing = s.outgoing[1:]
+	req := s.outgoing[s.outHead]
+	s.outHead++
+	if s.outHead == len(s.outgoing) {
+		s.outgoing = s.outgoing[:0]
+		s.outHead = 0
+	}
 	return req, true
 }
 
@@ -216,7 +229,8 @@ func (s *SimpleL1D) Reset() {
 	if s.deadWrite != nil {
 		s.deadWrite.Reset()
 	}
-	s.outgoing = nil
+	s.outgoing = s.outgoing[:0]
+	s.outHead = 0
 	s.stats = Stats{}
 }
 

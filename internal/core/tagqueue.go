@@ -35,9 +35,14 @@ type TagOp struct {
 // TagQueue is the FIFO of pending STT-MRAM operations that makes the
 // STT-MRAM bank non-blocking: the SRAM bank and the approximation logic keep
 // serving requests while writes wait here (Section IV-A).
+//
+// The queue is a head-indexed ring over one backing slice: Pop advances the
+// head instead of reslicing, so the steady state of a write-heavy run reuses
+// the same backing array instead of allocating on every push/pop cycle.
 type TagQueue struct {
-	ops []TagOp
-	cap int
+	ops  []TagOp
+	head int
+	cap  int
 
 	pushes  uint64
 	flushes uint64
@@ -57,13 +62,13 @@ func NewTagQueue(capacity int) *TagQueue {
 func (q *TagQueue) Capacity() int { return q.cap }
 
 // Len returns the number of queued operations.
-func (q *TagQueue) Len() int { return len(q.ops) }
+func (q *TagQueue) Len() int { return len(q.ops) - q.head }
 
 // Full reports whether no more operations can be queued.
-func (q *TagQueue) Full() bool { return len(q.ops) >= q.cap }
+func (q *TagQueue) Full() bool { return q.Len() >= q.cap }
 
 // Empty reports whether the queue has no pending operations.
-func (q *TagQueue) Empty() bool { return len(q.ops) == 0 }
+func (q *TagQueue) Empty() bool { return q.Len() == 0 }
 
 // Push appends an operation; it returns false when the queue is full.
 func (q *TagQueue) Push(op TagOp) bool {
@@ -78,25 +83,37 @@ func (q *TagQueue) Push(op TagOp) bool {
 
 // Pop removes and returns the oldest operation.
 func (q *TagQueue) Pop() (TagOp, bool) {
-	if len(q.ops) == 0 {
+	if q.Empty() {
 		return TagOp{}, false
 	}
-	op := q.ops[0]
-	q.ops = q.ops[1:]
+	op := q.ops[q.head]
+	q.head++
+	if q.head == len(q.ops) {
+		// Empty: rewind to the start of the backing array so the dead
+		// prefix never grows past one queue's worth of entries.
+		q.ops = q.ops[:0]
+		q.head = 0
+	} else if q.head >= 2*q.cap {
+		// The queue never fully drained but the dead prefix is now larger
+		// than the live region can ever be: compact in place.
+		n := copy(q.ops, q.ops[q.head:])
+		q.ops = q.ops[:n]
+		q.head = 0
+	}
 	return op, true
 }
 
 // Peek returns the oldest operation without removing it.
 func (q *TagQueue) Peek() (TagOp, bool) {
-	if len(q.ops) == 0 {
+	if q.Empty() {
 		return TagOp{}, false
 	}
-	return q.ops[0], true
+	return q.ops[q.head], true
 }
 
 // Contains reports whether an operation for the block is pending.
 func (q *TagQueue) Contains(block uint64) bool {
-	for _, op := range q.ops {
+	for _, op := range q.ops[q.head:] {
 		if op.Block == block {
 			return true
 		}
@@ -107,11 +124,13 @@ func (q *TagQueue) Contains(block uint64) bool {
 // Flush drains every pending operation and returns them in FIFO order. The
 // paper's controller flushes the queue when a write update arrives for a
 // block whose WORM prediction turned out wrong, because the queue holds only
-// meta-information while the write carries 128 bytes of data.
+// meta-information while the write carries 128 bytes of data. The returned
+// slice is handed off to the caller; the queue starts a fresh backing array.
 func (q *TagQueue) Flush() []TagOp {
 	q.flushes++
-	out := q.ops
+	out := q.ops[q.head:]
 	q.ops = nil
+	q.head = 0
 	return out
 }
 
@@ -127,7 +146,8 @@ func (q *TagQueue) FullRejections() uint64 { return q.fullRej }
 
 // Reset clears the queue and its counters.
 func (q *TagQueue) Reset() {
-	q.ops = nil
+	q.ops = q.ops[:0]
+	q.head = 0
 	q.pushes = 0
 	q.flushes = 0
 	q.fullRej = 0

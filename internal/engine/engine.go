@@ -44,6 +44,13 @@ type Job struct {
 	GPU *config.GPUConfig
 	// Opts are the simulation options (scale, seed, SM override...).
 	Opts sim.Options
+	// SimWorkers is the number of goroutines the simulator itself may use
+	// for this job (sim.Simulator.SetWorkers); zero or one selects the
+	// sequential engine, and zero lets the Runner substitute its default.
+	// It is an execution-resource knob, not part of the job's identity —
+	// results are byte-identical for every value — so it is excluded from
+	// Key() and from the content-addressed store key.
+	SimWorkers int
 }
 
 // Key is the comparable dedup identity of a Job.
@@ -110,20 +117,32 @@ func StoreKey(job Job) (string, error) {
 // for concurrent use.
 type Cache = store.Cache
 
+// arenas pools simulation scratch arenas across Execute calls: a Runner
+// executing a figure matrix reuses the same event heaps, wake heaps and flat
+// warp slabs for every job instead of re-allocating them per simulation.
+var arenas = sync.Pool{New: func() any { return sim.NewArena() }}
+
 // Execute runs one job to completion. It is the default executor of a Runner
 // and the single place where the engine touches the simulator. The context
 // is threaded into the simulator's cycle loop, so cancellation aborts
-// in-flight simulations, not just queued ones.
+// in-flight simulations, not just queued ones. The simulator is built on a
+// pooled arena and honours the job's SimWorkers count.
 func Execute(ctx context.Context, job Job) (sim.Result, error) {
 	w, err := trace.LookupWorkload(job.Workload)
 	if err != nil {
 		return sim.Result{}, fmt.Errorf("engine: %w", err)
 	}
-	s, err := sim.New(job.GPUConfig(), w, job.Opts)
+	arena := arenas.Get().(*sim.Arena)
+	s, err := sim.NewWithArena(job.GPUConfig(), w, job.Opts, arena)
 	if err != nil {
+		arenas.Put(arena)
 		return sim.Result{}, err
 	}
-	return s.RunContext(ctx)
+	s.SetWorkers(job.SimWorkers)
+	res, err := s.RunContext(ctx)
+	s.ReleaseArena()
+	arenas.Put(arena)
+	return res, err
 }
 
 // Progress is one progress-callback notification, fired when a job finishes
@@ -143,6 +162,16 @@ type Config struct {
 	// Workers bounds the number of simulations executing at once.
 	// Zero or negative means GOMAXPROCS.
 	Workers int
+	// SimWorkers is the per-simulation worker count given to jobs that do
+	// not set their own (see Job.SimWorkers). Zero means automatic: divide
+	// MaxParallelism evenly across the pool. Both the default and any
+	// per-job request are clamped so that Workers × per-simulation workers
+	// never exceeds MaxParallelism — a full pool cannot oversubscribe the
+	// machine no matter what the jobs ask for.
+	SimWorkers int
+	// MaxParallelism is the total goroutine budget shared by the pool and
+	// the per-simulation workers. Zero or negative means GOMAXPROCS.
+	MaxParallelism int
 	// Exec overrides the job executor (tests use this to count or stall
 	// executions). Nil means Execute.
 	Exec func(context.Context, Job) (sim.Result, error)
@@ -201,11 +230,13 @@ type call struct {
 // Runner executes batches of simulation jobs on a worker pool, caching every
 // completed result for the lifetime of the Runner.
 type Runner struct {
-	workers  int
-	exec     func(context.Context, Job) (sim.Result, error)
-	progress func(Progress)
-	cache    Cache
-	sem      chan struct{}
+	workers    int
+	simWorkers int // per-simulation default for jobs that don't set one
+	simCap     int // hard per-simulation cap: max(1, MaxParallelism/workers)
+	exec       func(context.Context, Job) (sim.Result, error)
+	progress   func(Progress)
+	cache      Cache
+	sem        chan struct{}
 
 	mu        sync.Mutex
 	calls     map[Key]*call
@@ -225,18 +256,52 @@ func New(cfg Config) *Runner {
 	if exec == nil {
 		exec = Execute
 	}
+	budget := cfg.MaxParallelism
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	simCap := budget / workers
+	if simCap < 1 {
+		simCap = 1
+	}
+	simWorkers := simCap // automatic: split the budget across the pool
+	if cfg.SimWorkers > 0 && cfg.SimWorkers < simWorkers {
+		simWorkers = cfg.SimWorkers
+	}
 	return &Runner{
-		workers:  workers,
-		exec:     exec,
-		progress: cfg.Progress,
-		cache:    cfg.Cache,
-		sem:      make(chan struct{}, workers),
-		calls:    make(map[Key]*call),
+		workers:    workers,
+		simWorkers: simWorkers,
+		simCap:     simCap,
+		exec:       exec,
+		progress:   cfg.Progress,
+		cache:      cfg.Cache,
+		sem:        make(chan struct{}, workers),
+		calls:      make(map[Key]*call),
 	}
 }
 
 // Workers returns the size of the worker pool.
 func (r *Runner) Workers() int { return r.workers }
+
+// SimWorkers returns the per-simulation worker count handed to jobs that do
+// not request their own: the Runner's configured default after the
+// oversubscription clamp (Workers × SimWorkers never exceeds the
+// MaxParallelism budget).
+func (r *Runner) SimWorkers() int { return r.simWorkers }
+
+// simWorkersFor resolves a job's effective per-simulation worker count: the
+// job's own request (or the Runner default when it has none), clamped by the
+// Runner's oversubscription cap.
+func (r *Runner) simWorkersFor(job Job) int {
+	n := job.SimWorkers
+	if n <= 0 {
+		n = r.simWorkers
+	}
+	if n > r.simCap {
+		n = r.simCap
+	}
+	return n
+}
 
 // Completed returns the number of successfully completed (cached) jobs.
 func (r *Runner) Completed() int {
@@ -337,6 +402,7 @@ func (r *Runner) notify(p *progressState, job Job, err error) {
 // skips the worker pool entirely), then on the pool itself, writing fresh
 // results back through the cache.
 func (r *Runner) run(ctx context.Context, k Key, c *call, job Job, p *progressState) {
+	job.SimWorkers = r.simWorkersFor(job)
 	storeKey := ""
 	if r.cache != nil {
 		if key, err := StoreKey(job); err == nil {

@@ -167,7 +167,7 @@ func TestSMNextWakeAt(t *testing.T) {
 	}
 	sm.Cycle(0)
 	// Force a timed wait directly.
-	smWarp := sm.warps[1]
+	smWarp := &sm.warps[1]
 	smWarp.BlockFor(5, 7)
 	if got := sm.NextWakeAt(); got != 12 {
 		t.Errorf("NextWakeAt = %d, want 12", got)

@@ -39,7 +39,11 @@ type SM struct {
 	// ID is the SM index within the GPU.
 	ID int
 
-	warps  []*Warp
+	// warps is stored flat (struct-of-values, not per-warp heap objects):
+	// the scheduler walks every warp each cycle, so one contiguous backing
+	// array is both allocation-free and cache-friendly. All access is by
+	// index/pointer because Warp methods mutate through their receiver.
+	warps  []Warp
 	source trace.Source
 	l1d    core.L1D
 
@@ -62,24 +66,50 @@ type SM struct {
 	stats     SMStats
 }
 
+// SMStorage is caller-provided backing storage for an SM's flat per-warp
+// state; the simulator's arena carves these from slabs it reuses across runs.
+// Slices with insufficient capacity (or a zero SMStorage) are allocated fresh.
+type SMStorage struct {
+	Warps      []Warp
+	Pending    []trace.Instruction
+	PendingSet []bool
+}
+
 // NewSM builds an SM with the given number of warps, each executing
 // `instrPerWarp` instructions of the source stream, backed by the given L1D
 // cache.
 func NewSM(id, warps int, instrPerWarp uint64, source trace.Source, l1d core.L1D) *SM {
+	return NewSMIn(id, warps, instrPerWarp, source, l1d, SMStorage{})
+}
+
+// NewSMIn is NewSM with caller-provided backing storage for the per-warp
+// state (see SMStorage).
+func NewSMIn(id, warps int, instrPerWarp uint64, source trace.Source, l1d core.L1D, st SMStorage) *SM {
 	if warps <= 0 {
 		warps = 1
+	}
+	if cap(st.Warps) < warps {
+		st.Warps = make([]Warp, warps)
+	}
+	if cap(st.Pending) < warps {
+		st.Pending = make([]trace.Instruction, warps)
+	}
+	if cap(st.PendingSet) < warps {
+		st.PendingSet = make([]bool, warps)
 	}
 	sm := &SM{
 		ID:         id,
 		source:     source,
 		l1d:        l1d,
 		waiting:    make(map[uint64][]int),
-		pending:    make([]trace.Instruction, warps),
-		pendingSet: make([]bool, warps),
+		warps:      st.Warps[:warps],
+		pending:    st.Pending[:warps],
+		pendingSet: st.PendingSet[:warps],
 	}
-	sm.warps = make([]*Warp, warps)
 	for i := range sm.warps {
-		sm.warps[i] = &Warp{ID: i, Budget: instrPerWarp}
+		sm.warps[i] = Warp{ID: i, Budget: instrPerWarp}
+		sm.pending[i] = trace.Instruction{}
+		sm.pendingSet[i] = false
 	}
 	return sm
 }
@@ -95,8 +125,8 @@ func (sm *SM) Warps() int { return len(sm.warps) }
 
 // Done reports whether every warp has retired its budget.
 func (sm *SM) Done() bool {
-	for _, w := range sm.warps {
-		if !w.Done() {
+	for i := range sm.warps {
+		if !sm.warps[i].Done() {
 			return false
 		}
 	}
@@ -111,8 +141,8 @@ func (sm *SM) OutstandingFills() int { return len(sm.waiting) }
 // fills). It returns -1 when no warp is in the timed-wait state.
 func (sm *SM) NextWakeAt() int64 {
 	next := int64(-1)
-	for _, w := range sm.warps {
-		if w.State == WarpWaiting {
+	for i := range sm.warps {
+		if w := &sm.warps[i]; w.State == WarpWaiting {
 			if next < 0 || w.WakeAt < next {
 				next = w.WakeAt
 			}
@@ -123,8 +153,8 @@ func (sm *SM) NextWakeAt() int64 {
 
 // HasReadyWarp reports whether any warp can issue at the given cycle.
 func (sm *SM) HasReadyWarp(now int64) bool {
-	for _, w := range sm.warps {
-		if !w.Done() && w.ReadyAt(now) {
+	for i := range sm.warps {
+		if w := &sm.warps[i]; !w.Done() && w.ReadyAt(now) {
 			return true
 		}
 	}
@@ -141,7 +171,8 @@ func (sm *SM) HasReadyWarp(now int64) bool {
 // cycling the SM would do real work, or skipped cycles would change timing.
 func (sm *SM) NextSelfEventAt(now int64) int64 {
 	next := int64(-1)
-	for _, w := range sm.warps {
+	for i := range sm.warps {
+		w := &sm.warps[i]
 		switch w.State {
 		case WarpReady:
 			return now
@@ -164,11 +195,12 @@ func (sm *SM) NextSelfEventAt(now int64) int64 {
 // from the current warp while it is ready, otherwise fall back to the oldest
 // (lowest last-issue time) ready warp.
 func (sm *SM) pickWarp(now int64) *Warp {
-	if g := sm.warps[sm.greedyWarp]; !g.Done() && g.ReadyAt(now) {
+	if g := &sm.warps[sm.greedyWarp]; !g.Done() && g.ReadyAt(now) {
 		return g
 	}
 	var best *Warp
-	for _, w := range sm.warps {
+	for i := range sm.warps {
+		w := &sm.warps[i]
 		if w.Done() || !w.ReadyAt(now) {
 			continue
 		}
@@ -289,8 +321,8 @@ func (sm *SM) DeliverFill(block uint64, now int64) int {
 
 // Reset restores the SM to its initial state, keeping the kernel position.
 func (sm *SM) Reset() {
-	for i, w := range sm.warps {
-		*w = Warp{ID: i, Budget: w.Budget}
+	for i := range sm.warps {
+		sm.warps[i] = Warp{ID: i, Budget: sm.warps[i].Budget}
 		sm.pendingSet[i] = false
 	}
 	sm.waiting = make(map[uint64][]int)

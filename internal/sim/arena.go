@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"fuse/internal/gpu"
+	"fuse/internal/trace"
+)
+
+// Arena is the reusable scratch region of one simulation run: the event heap,
+// the wake heap, the lazily-charged idle accounting, the flat per-warp state
+// of every SM, and the parallel engine's epoch buffers. A fresh simulator
+// allocates all of these once and then runs allocation-free; an Arena lets a
+// caller that runs many simulations back to back (engine.Runner, benchmark
+// loops) reuse the buffers across runs instead of re-allocating them.
+//
+// Usage: build simulators with NewWithArena, and call ReleaseArena when the
+// run is finished to hand the buffers back. An Arena serves one simulator at
+// a time; the previous simulator must not be used once its arena has been
+// reused. The zero value is ready to use.
+type Arena struct {
+	events     eventHeap
+	staleTicks []staleTick
+	wakeAt     []int64
+	wakePos    []int
+	wakeOrd    []int
+	chargedTo  []int64
+	dirty      []int
+	dirtyMark  []bool
+	readyBuf   []int
+	sms        []*gpu.SM
+
+	// Flat per-warp slabs, carved into per-SM windows by NewWithArena.
+	warps      []gpu.Warp
+	pending    []trace.Instruction
+	pendingSet []bool
+
+	// Parallel-engine scratch (see parallel.go).
+	parts      []epochPart
+	commitRecs []commitRec
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+// grow returns buf resliced to length n, reallocating only when the capacity
+// is insufficient. Contents are unspecified; callers reinitialise.
+func grow[T any](buf []T, n int) []T {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]T, n)
+}
+
+// takeScratch moves the arena's buffers into the simulator (called from
+// NewWithArena before the scratch structures are initialised).
+func (s *Simulator) takeScratch(a *Arena, smCount, warpsPerSM int) {
+	s.arena = a
+	if a == nil {
+		return
+	}
+	s.events = a.events[:0]
+	s.staleTicks = a.staleTicks[:0]
+	s.wake.at = a.wakeAt
+	s.wake.pos = a.wakePos
+	s.wake.ord = a.wakeOrd
+	s.chargedTo = grow(a.chargedTo, smCount)
+	clear(s.chargedTo)
+	s.dirty = a.dirty[:0]
+	s.dirtyMark = grow(a.dirtyMark, smCount)
+	clear(s.dirtyMark)
+	s.readyBuf = a.readyBuf[:0]
+	s.sms = grow(a.sms, smCount)
+	clear(s.sms)
+	s.parts = a.parts
+	s.commitRecs = a.commitRecs[:0]
+	a.warps = grow(a.warps, smCount*warpsPerSM)
+	a.pending = grow(a.pending, smCount*warpsPerSM)
+	a.pendingSet = grow(a.pendingSet, smCount*warpsPerSM)
+}
+
+// smStorage carves SM i's per-warp backing out of the arena's slabs. The
+// three-index slice expressions keep the windows from ever growing into a
+// neighbour's region.
+func (a *Arena) smStorage(i, warpsPerSM int) gpu.SMStorage {
+	if a == nil {
+		return gpu.SMStorage{}
+	}
+	lo, hi := i*warpsPerSM, (i+1)*warpsPerSM
+	return gpu.SMStorage{
+		Warps:      a.warps[lo:hi:hi],
+		Pending:    a.pending[lo:hi:hi],
+		PendingSet: a.pendingSet[lo:hi:hi],
+	}
+}
+
+// ReleaseArena hands the simulator's scratch buffers back to the arena the
+// simulator was built with (a no-op for simulators built without one). The
+// simulator must not be used afterwards once the arena is reused.
+func (s *Simulator) ReleaseArena() {
+	a := s.arena
+	if a == nil {
+		return
+	}
+	a.events = s.events[:0]
+	a.staleTicks = s.staleTicks[:0]
+	a.wakeAt = s.wake.at
+	a.wakePos = s.wake.pos
+	a.wakeOrd = s.wake.ord[:0]
+	a.chargedTo = s.chargedTo
+	a.dirty = s.dirty[:0]
+	a.dirtyMark = s.dirtyMark
+	a.readyBuf = s.readyBuf[:0]
+	a.sms = s.sms
+	a.parts = s.parts
+	a.commitRecs = s.commitRecs[:0]
+}

@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"testing"
+
+	"fuse/internal/config"
+	"fuse/internal/trace"
+)
+
+// runWorkers builds a simulator for the given L1D kind/workload and runs it
+// with the requested intra-simulation worker count.
+func runWorkers(t *testing.T, kind config.L1DKind, workload string, opts Options, workers int) Result {
+	t.Helper()
+	w, err := trace.LookupWorkload(workload)
+	if err != nil {
+		t.Fatalf("LookupWorkload(%s): %v", workload, err)
+	}
+	s, err := New(config.FermiGPU(config.NewL1DConfig(kind)), w, opts)
+	if err != nil {
+		t.Fatalf("New(%v, %s): %v", kind, workload, err)
+	}
+	s.SetWorkers(workers)
+	if got := s.Workers(); got != workers && !(workers < 1 && got == 1) {
+		t.Fatalf("Workers() = %d after SetWorkers(%d)", got, workers)
+	}
+	return s.Run()
+}
+
+// TestParallelEngineMatchesSequential is the PR's headline determinism pin:
+// the conservative-parallel engine must produce a Result that is identical —
+// every counter, not just the cycle count — to the sequential sparse engine
+// (and therefore to the dense reference engine) for every worker count.
+func TestParallelEngineMatchesSequential(t *testing.T) {
+	cases := []struct {
+		name     string
+		kind     config.L1DKind
+		workload string
+		opts     Options
+	}{
+		// Memory-bound: lots of L1D misses, fills, MSHR traffic, NoC and
+		// DRAM contention — the hard case for lookahead soundness.
+		{"mem-bound", config.L1SRAM, "ATAX", quickOpts()},
+		// Dy-FUSE adds predictor state, bypass, swap-buffer and tag-queue
+		// internal events on top.
+		{"mem-bound-dyfuse", config.DyFUSE, "ATAX", quickOpts()},
+		// Compute-bound: long independent SM stretches, the epoch path's
+		// best case, with occasional memory synchronisation.
+		{"compute-bound", config.L1SRAM, "pathf", quickOpts()},
+		// Truncation: MaxCycles lands mid-flight, so the engines must agree
+		// on in-flight accounting, not just on completed runs.
+		{"truncated", config.L1SRAM, "ATAX",
+			Options{InstructionsPerWarp: 100000, Seed: 3, SMOverride: 2, MaxCycles: 3000}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seq := mustRun(t, tc.kind, tc.workload, tc.opts)
+			for _, workers := range []int{1, 2, 4, 8} {
+				got := runWorkers(t, tc.kind, tc.workload, tc.opts, workers)
+				if got != seq {
+					t.Errorf("workers=%d diverged from sequential:\n got: %+v\nwant: %+v",
+						workers, got, seq)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelEngineMatchesReference closes the loop against the dense
+// cycle-by-cycle engine: parallel == sparse == reference.
+func TestParallelEngineMatchesReference(t *testing.T) {
+	opts := quickOpts()
+	w, err := trace.LookupWorkload("ATAX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpuCfg := config.FermiGPU(config.NewL1DConfig(config.DyFUSE))
+	ref, err := New(gpuCfg, w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.RunReference()
+	got := runWorkers(t, config.DyFUSE, "ATAX", opts, 4)
+	if got != want {
+		t.Errorf("parallel(4) diverged from dense reference:\n got: %+v\nwant: %+v", got, want)
+	}
+}
+
+// lowLatencyGPU shrinks every memory-side latency so the conservative
+// round-trip lookahead collapses to almost nothing: epochs become degenerate
+// (horizon <= t0+1) and the engine must constantly fall back to single sparse
+// steps without ever mis-ordering work.
+func lowLatencyGPU(kind config.L1DKind) config.GPUConfig {
+	cfg := config.FermiGPU(config.NewL1DConfig(kind))
+	cfg.L2LatencyCycles = 1
+	cfg.NoCLatencyPerHop = 0
+	cfg.NoCFlitBytes = 1024 // whole request/response in one flit
+	return cfg
+}
+
+// TestParallelLookaheadOfOneCycle pins the lookahead edge case from the
+// issue: with zero-hop NoC and a 1-cycle L2, the request round trip is the
+// smallest the machine can express, so the epoch window is 1-2 cycles wide.
+// The engine must still match the sequential result exactly.
+func TestParallelLookaheadOfOneCycle(t *testing.T) {
+	opts := quickOpts()
+	w, err := trace.LookupWorkload("ATAX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) Result {
+		s, err := New(lowLatencyGPU(config.L1SRAM), w, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetWorkers(workers)
+		return s.Run()
+	}
+	seq := run(1)
+	for _, workers := range []int{2, 4} {
+		if got := run(workers); got != seq {
+			t.Errorf("workers=%d diverged under minimal lookahead:\n got: %+v\nwant: %+v",
+				workers, got, seq)
+		}
+	}
+}
+
+// TestParallelInternalEventOnBarrierCycle drives a write-heavy Dy-FUSE run —
+// swap-buffer drains and tag-queue retirements are SM-internal events that
+// can land exactly on an epoch barrier cycle. The SM must re-enter the wake
+// heap at precisely the horizon and be cycled there, not skipped past it.
+func TestParallelInternalEventOnBarrierCycle(t *testing.T) {
+	// GEMM has the highest write pressure in Table II (APKI 136).
+	opts := Options{InstructionsPerWarp: 400, Seed: 11, SMOverride: 4, MaxCycles: 2_000_000}
+	for _, kind := range []config.L1DKind{config.Hybrid, config.BaseFUSE, config.DyFUSE} {
+		seq := mustRun(t, kind, "GEMM", opts)
+		for _, workers := range []int{2, 8} {
+			if got := runWorkers(t, kind, "GEMM", opts, workers); got != seq {
+				t.Errorf("%v workers=%d diverged on write-heavy run:\n got: %+v\nwant: %+v",
+					kind, workers, got, seq)
+			}
+		}
+	}
+}
+
+// TestParallelFillDuringAdvanceWouldPanic documents the always-on canary for
+// the third edge case: a fill delivered to an SM that a worker has already
+// advanced past the fill's cycle. The evRespAtSM handler panics if the SM's
+// charged-to point has moved beyond the delivery cycle, so any lookahead bug
+// trips loudly in every test above rather than silently skewing counters.
+// Here we just pin that a heavily contended multi-SM run — maximum in-flight
+// fills per epoch — completes without tripping it.
+func TestParallelFillDuringAdvanceWouldPanic(t *testing.T) {
+	opts := Options{InstructionsPerWarp: 300, Seed: 19, SMOverride: 8, MaxCycles: 4_000_000}
+	seq := mustRun(t, config.L1SRAM, "MVT", opts)
+	if got := runWorkers(t, config.L1SRAM, "MVT", opts, 8); got != seq {
+		t.Errorf("8-SM contended run diverged:\n got: %+v\nwant: %+v", got, seq)
+	}
+}
+
+// TestSetWorkersClamp pins the floor: any value below 1 selects the
+// sequential engine.
+func TestSetWorkersClamp(t *testing.T) {
+	w, err := trace.LookupWorkload("pathf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(config.FermiGPU(config.NewL1DConfig(config.L1SRAM)), w, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetWorkers(-3)
+	if s.Workers() != 1 {
+		t.Errorf("Workers() = %d, want 1 after SetWorkers(-3)", s.Workers())
+	}
+}
+
+// TestArenaReuseAcrossRuns pins the arena path: back-to-back runs through one
+// arena must produce identical results to fresh simulators, for different
+// configurations and with the parallel engine in the mix.
+func TestArenaReuseAcrossRuns(t *testing.T) {
+	arena := NewArena()
+	opts := quickOpts()
+	runs := []struct {
+		kind     config.L1DKind
+		workload string
+		workers  int
+	}{
+		{config.L1SRAM, "ATAX", 1},
+		{config.DyFUSE, "ATAX", 4},
+		{config.L1SRAM, "pathf", 2},
+		{config.DyFUSE, "GEMM", 1},
+		{config.L1SRAM, "ATAX", 1}, // repeat of the first: exact same buffers again
+	}
+	for i, rc := range runs {
+		want := mustRun(t, rc.kind, rc.workload, opts)
+		w, err := trace.LookupWorkload(rc.workload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewWithArena(config.FermiGPU(config.NewL1DConfig(rc.kind)), w, opts, arena)
+		if err != nil {
+			t.Fatalf("run %d: NewWithArena: %v", i, err)
+		}
+		s.SetWorkers(rc.workers)
+		got := s.Run()
+		s.ReleaseArena()
+		if got != want {
+			t.Errorf("run %d (%v/%s workers=%d) diverged through the arena:\n got: %+v\nwant: %+v",
+				i, rc.kind, rc.workload, rc.workers, got, want)
+		}
+	}
+}

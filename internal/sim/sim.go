@@ -11,12 +11,30 @@
 // charged, which makes the sparse engine a pure speedup: RunReference — the
 // step-every-cycle path — must produce bit-identical results, and the engine
 // equivalence test pins that.
+//
+// On top of the sparse engine sits a conservative-parallel mode
+// (SetWorkers): SM state is private between memory interactions, and the
+// memory system guarantees a minimum request round-trip latency, so the
+// engine advances independent SMs on worker goroutines up to a shared
+// conservative horizon and re-plays their memory traffic serially at the
+// epoch barrier, in exactly the order the sequential engine would have
+// produced it. Epochs whose lookahead window is degenerate fall back to
+// single sparse steps, so parallel execution is — like the sparse engine
+// itself — a pure speedup: every counter and figure is byte-identical for
+// any worker count (see parallel.go for the horizon argument).
+//
+// Construction supports a reusable scratch Arena (NewWithArena/ReleaseArena)
+// so callers that run many simulations back to back — the batch engine,
+// benchmark loops — reuse the event heaps, wake heaps and flat per-warp
+// slabs instead of re-allocating them per run.
 package sim
 
 import (
 	"context"
 	"fmt"
 	"slices"
+	"sync"
+	"sync/atomic"
 
 	"fuse/internal/config"
 	"fuse/internal/core"
@@ -151,9 +169,13 @@ type smWakeHeap struct {
 }
 
 func (h *smWakeHeap) init(n int) {
-	h.at = make([]int64, n)
-	h.pos = make([]int, n)
-	h.ord = make([]int, 0, n)
+	h.at = grow(h.at, n)
+	h.pos = grow(h.pos, n)
+	if cap(h.ord) >= n {
+		h.ord = h.ord[:0]
+	} else {
+		h.ord = make([]int, 0, n)
+	}
 	for i := range h.pos {
 		h.pos[i] = -1
 	}
@@ -291,6 +313,19 @@ type Simulator struct {
 	nocCycles int64
 	memCycles int64
 	fills     uint64
+
+	// arena is the scratch region the simulator was built with (nil when
+	// the buffers are privately owned); see arena.go.
+	arena *Arena
+
+	// Parallel-engine state (see parallel.go): the worker count selected
+	// with SetWorkers, the reusable epoch buffers, and the per-epoch
+	// dispatch primitives shared with the parked helper goroutines.
+	workers    int
+	parts      []epochPart
+	commitRecs []commitRec
+	epochNext  atomic.Int64
+	epochWG    sync.WaitGroup
 }
 
 // New builds a simulator for the given GPU configuration and workload
@@ -298,6 +333,14 @@ type Simulator struct {
 // replay workloads plug in the same way — the simulator only sees the
 // per-SM instruction Sources the workload constructs.
 func New(gpuCfg config.GPUConfig, workload trace.Workload, opts Options) (*Simulator, error) {
+	return NewWithArena(gpuCfg, workload, opts, nil)
+}
+
+// NewWithArena is New with a reusable scratch arena: the simulator's event
+// heap, wake heap, idle-charge accounting and flat per-warp state are carved
+// out of the arena instead of freshly allocated. A nil arena behaves exactly
+// like New. Call ReleaseArena when the run is done to hand the buffers back.
+func NewWithArena(gpuCfg config.GPUConfig, workload trace.Workload, opts Options, arena *Arena) (*Simulator, error) {
 	if err := gpuCfg.Validate(); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
@@ -357,7 +400,13 @@ func New(gpuCfg config.GPUConfig, workload trace.Workload, opts Options) (*Simul
 		FlitBytes:  gpuCfg.NoCFlitBytes,
 	})
 
-	s.sms = make([]*gpu.SM, smCount)
+	warpsPerSM := max(1, gpuCfg.WarpsPerSM)
+	s.takeScratch(arena, smCount, warpsPerSM)
+	if arena == nil {
+		s.sms = make([]*gpu.SM, smCount)
+		s.chargedTo = make([]int64, smCount)
+		s.dirtyMark = make([]bool, smCount)
+	}
 	for i := range s.sms {
 		l1d, err := core.New(gpuCfg.L1D)
 		if err != nil {
@@ -367,15 +416,13 @@ func New(gpuCfg config.GPUConfig, workload trace.Workload, opts Options) (*Simul
 		if err != nil {
 			return nil, fmt.Errorf("sim: %w", err)
 		}
-		s.sms[i] = gpu.NewSM(i, gpuCfg.WarpsPerSM, opts.InstructionsPerWarp, source, l1d)
+		s.sms[i] = gpu.NewSMIn(i, warpsPerSM, opts.InstructionsPerWarp, source, l1d, arena.smStorage(i, warpsPerSM))
 	}
 	s.memTickAt = -1
 	s.wake.init(smCount)
 	for i := range s.sms {
 		s.wake.update(i, 0) // every SM starts with ready warps at cycle 0
 	}
-	s.chargedTo = make([]int64, smCount)
-	s.dirtyMark = make([]bool, smCount)
 	return s, nil
 }
 
@@ -505,6 +552,15 @@ func (s *Simulator) handleEvent(e event) {
 		}
 		s.armMemTick(e.at)
 	case evRespAtSM:
+		if s.chargedTo[e.sm] > e.at {
+			// The SM has already been cycled past the fill's arrival time.
+			// Sequential execution cannot get here (events are delivered at
+			// exactly their due cycle, before any SM cycles at it); for the
+			// parallel engine this is the canary that the conservative
+			// lookahead bound was violated.
+			panic(fmt.Sprintf("sim: fill for SM %d delivered at cycle %d, but the SM is already charged to cycle %d (lookahead violation)",
+				e.sm, e.at, s.chargedTo[e.sm]))
+		}
 		s.fills++
 		sm := s.sms[e.sm]
 		if !sm.Done() {
@@ -526,20 +582,25 @@ func (s *Simulator) handleEvent(e event) {
 // the current one: the sparse engine never cycles a sleeping SM, so the skip
 // is accounted here with exactly the counters per-cycle execution would have
 // used (no ready warp; memory wait while fills are outstanding).
-func (s *Simulator) catchUp(i int) {
+func (s *Simulator) catchUp(i int) { s.catchUpTo(i, s.now) }
+
+// catchUpTo is catchUp against an explicit cycle: the parallel engine's
+// workers advance SMs ahead of the shared clock, so they charge idle gaps
+// against their SM-local time rather than s.now.
+func (s *Simulator) catchUpTo(i int, now int64) {
 	from := s.chargedTo[i]
-	if from >= s.now {
+	if from >= now {
 		return
 	}
 	sm := s.sms[i]
-	skipped := uint64(s.now - from)
+	skipped := uint64(now - from)
 	st := sm.Stats()
 	st.Cycles += skipped
 	st.NoReadyWarpCycles += skipped
 	if sm.OutstandingFills() > 0 {
 		st.MemWaitCycles += skipped
 	}
-	s.chargedTo[i] = s.now
+	s.chargedTo[i] = now
 }
 
 // markDirty queues SM i for this step's outgoing-traffic drain.
@@ -663,8 +724,13 @@ func (s *Simulator) Run() Result {
 
 // RunContext is Run with cancellation: the context is polled every few
 // thousand steps (cheap enough to be invisible in profiles), and an expired
-// context aborts the run with the context's error.
+// context aborts the run with the context's error. With SetWorkers(n > 1)
+// the run executes on the conservative-parallel epoch engine instead of the
+// sequential sparse loop; the results are byte-identical either way.
 func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
+	if s.workers > 1 {
+		return s.runParallel(ctx)
+	}
 	opts := s.opts
 	var steps uint
 	for s.doneSMs < len(s.sms) && s.now < opts.MaxCycles {
