@@ -1,0 +1,85 @@
+// Command fuselint runs the repository's static-analysis suite — detmap,
+// keydrift, hotalloc and phasesafe (see internal/analysis) — over the
+// packages matching the given patterns and exits non-zero when any invariant
+// is violated. CI runs it as a hard gate:
+//
+//	go run ./cmd/fuselint ./...
+//
+// The directives the analyzers understand (//fuselint:ordered, noalloc,
+// execonly, keyroot, jobkey, workerphase, serialonly) are documented in the
+// README under "Invariants & annotations".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fuse/internal/analysis"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	allowlist := flag.String("noalloc-allowlist", "", "override the hotalloc allowlist path")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: fuselint [flags] [packages]\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	all := analysis.All()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	analyzers := all
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "fuselint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+	if *allowlist != "" {
+		analysis.HotallocAllowlist = *allowlist
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fuselint: %v\n", err)
+		os.Exit(2)
+	}
+	prog, err := analysis.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fuselint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(prog, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fuselint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "fuselint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

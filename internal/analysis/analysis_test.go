@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The fixture tests are analysistest-style: each package under testdata/src
+// carries `// want \`regexp\`` comments on the lines where an analyzer must
+// report, and the test fails on any unmatched want or unexpected diagnostic.
+// The fixtures double as the proof that the CI gate actually fires: every
+// analyzer has at least one deliberately seeded violation.
+
+var wantRE = regexp.MustCompile("// want `([^`]+)`")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// loadFixture type-checks one testdata package and returns its program plus
+// the parsed want expectations.
+func loadFixture(t *testing.T, name string) (*Program, []*expectation) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	prog, err := Load(".", "./"+filepath.ToSlash(dir))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	var wants []*expectation
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		abs, err := filepath.Abs(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			m := wantRE.FindStringSubmatch(sc.Text())
+			if m == nil {
+				continue
+			}
+			re, err := regexp.Compile(m[1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regexp: %v", path, line, err)
+			}
+			wants = append(wants, &expectation{file: abs, line: line, re: re})
+		}
+		f.Close()
+	}
+	return prog, wants
+}
+
+// runFixture executes one analyzer over a fixture and diffs the findings
+// against the want comments.
+func runFixture(t *testing.T, analyzerName, fixture string) {
+	t.Helper()
+	var analyzer *Analyzer
+	for _, a := range All() {
+		if a.Name == analyzerName {
+			analyzer = a
+		}
+	}
+	if analyzer == nil {
+		t.Fatalf("no analyzer %q", analyzerName)
+	}
+	prog, wants := loadFixture(t, fixture)
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no want comments: it would not prove the gate fires", fixture)
+	}
+	diags, err := Run(prog, []*Analyzer{analyzer})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", analyzerName, fixture, err)
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && sameFile(w.file, d.Pos.Filename) && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: want %q: no matching diagnostic", w.file, w.line, w.re)
+		}
+	}
+}
+
+func sameFile(a, b string) bool {
+	if a == b {
+		return true
+	}
+	ra, err1 := filepath.EvalSymlinks(a)
+	rb, err2 := filepath.EvalSymlinks(b)
+	return err1 == nil && err2 == nil && ra == rb
+}
+
+func TestDetmapFixture(t *testing.T)   { runFixture(t, "detmap", "detmapfix") }
+func TestKeydriftFixture(t *testing.T) { runFixture(t, "keydrift", "keydriftfix") }
+
+func TestHotallocFixture(t *testing.T) {
+	allowlist, err := filepath.Abs(filepath.Join("testdata", "src", "hotallocfix", "allowlist.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := HotallocAllowlist
+	HotallocAllowlist = allowlist
+	defer func() { HotallocAllowlist = old }()
+	runFixture(t, "hotalloc", "hotallocfix")
+}
+
+func TestPhasesafeFixture(t *testing.T) { runFixture(t, "phasesafe", "phasesafefix") }
+
+// TestRepoIsClean runs the full suite over the real tree — the same gate CI
+// enforces with `go run ./cmd/fuselint ./...`. Any regression against the
+// repo's invariants (a new map-ordered loop, an unkeyed config field, a hot-
+// path allocation, a worker-phase write to serial state) fails this test.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	prog, err := Load(".", "fuse/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(prog, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Logf("%d finding(s); run `go run ./cmd/fuselint ./...` locally", len(diags))
+	}
+}
+
+// TestDirectiveScoping pins the trailing-vs-standalone attribution rule: a
+// trailing directive governs only its own line, never the next one (the
+// chargedTo field in sim.Simulator must not inherit wake's serialonly).
+func TestDirectiveScoping(t *testing.T) {
+	prog, err := Load(".", "fuse/internal/sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := prog.Packages[0]
+	var got []string
+	for _, f := range pkg.Files {
+		for _, d := range pkg.fileDirectives(prog.Fset, f) {
+			if d.Name == "serialonly" && d.Standalone {
+				got = append(got, fmt.Sprintf("%s: standalone serialonly at line %d", prog.Fset.Position(d.Pos).Filename, d.Line))
+			}
+		}
+	}
+	if len(got) != 0 {
+		t.Errorf("serialonly directives in sim are trailing by convention; standalone ones risk annotating the wrong field:\n%s", strings.Join(got, "\n"))
+	}
+}

@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Phasesafe pins the conservative-parallel engine's phase discipline. The
+// engine alternates between a worker phase (advancePart: several goroutines
+// advance disjoint SMs concurrently) and a serial commit phase (commitEpoch:
+// one goroutine re-plays the logged traffic against the shared machine). The
+// determinism proof — byte-identical results for every worker count — rests
+// on the worker phase touching strictly SM-local state: the shared NoC, L2,
+// event heap, clock and wake heap belong to the serial phase alone.
+//
+// The contract is annotated in the source:
+//
+//   - `//fuselint:workerphase` on a function marks it a worker-phase root —
+//     it and everything it (transitively, within its package) calls runs
+//     concurrently on worker goroutines;
+//   - `//fuselint:serialonly` on a Simulator field marks it serial-phase
+//     state.
+//
+// The analyzer walks the static call graph from each root and rejects, in
+// any reachable function: writes to serial-only fields (assignment,
+// increment/decrement, address-taken) and calls of pointer-receiver methods
+// on serial-only fields (a mutation by another name). Reads of shared
+// immutable state (opts, sms, the per-SM chargedTo slots) stay legal.
+//
+// The call-graph walk is intra-package, which is sound here: every
+// serial-only field is unexported, so all access is from within
+// fuse/internal/sim, and the worker-phase roots call out of the package only
+// into per-SM objects they own for the epoch.
+var Phasesafe = &Analyzer{
+	Name: "phasesafe",
+	Doc:  "rejects writes to serial-only simulator state reachable from worker-phase roots",
+	Run:  runPhasesafe,
+}
+
+func runPhasesafe(pass *Pass) error {
+	fset := pass.Prog.Fset
+	serial := make(map[types.Object]string) // field object -> Struct.Field label
+	var roots []*ast.FuncDecl
+	rootFiles := make(map[*ast.FuncDecl]*ast.File)
+	decls := make(map[types.Object]*ast.FuncDecl)
+
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			switch decl := decl.(type) {
+			case *ast.FuncDecl:
+				if obj := pass.Pkg.Info.Defs[decl.Name]; obj != nil {
+					decls[obj] = decl
+				}
+				if _, ok := pass.Pkg.nodeDirective(fset, f, decl.Doc, decl, "workerphase"); ok {
+					roots = append(roots, decl)
+					rootFiles[decl] = f
+				}
+			case *ast.GenDecl:
+				if decl.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range decl.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						ok, _ := fieldDirective(pass, pass.Pkg, f, field, "serialonly")
+						if !ok {
+							continue
+						}
+						for _, name := range field.Names {
+							if obj := pass.Pkg.Info.Defs[name]; obj != nil {
+								serial[obj] = ts.Name.Name + "." + name.Name
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	checkPhasesafeAnchors(pass, roots, serial)
+	if len(roots) == 0 || len(serial) == 0 {
+		return nil
+	}
+
+	for _, root := range roots {
+		for _, fn := range reachableFuncs(pass, root, decls) {
+			checkPhaseViolations(pass, fn, root.Name.Name, serial)
+		}
+	}
+	return nil
+}
+
+// checkPhasesafeAnchors keeps the annotations themselves from rotting in the
+// package the analyzer exists for: the parallel engine must declare at least
+// one worker-phase root and its serial-only state.
+func checkPhasesafeAnchors(pass *Pass, roots []*ast.FuncDecl, serial map[types.Object]string) {
+	if pass.Pkg.Path != "fuse/internal/sim" {
+		return
+	}
+	if len(roots) == 0 {
+		pass.Reportf(pass.Pkg.Files[0].Pos(), "fuse/internal/sim declares no //fuselint:workerphase root: the parallel engine's advance phase is unguarded")
+	}
+	if len(serial) == 0 {
+		pass.Reportf(pass.Pkg.Files[0].Pos(), "fuse/internal/sim annotates no //fuselint:serialonly fields: phasesafe has nothing to protect")
+	}
+}
+
+// reachableFuncs returns the root plus every same-package function it
+// transitively references (calls, method values, function values — any use
+// of a package-local func identifier counts as an edge, which over-
+// approximates reachability and is therefore safe).
+func reachableFuncs(pass *Pass, root *ast.FuncDecl, decls map[types.Object]*ast.FuncDecl) []*ast.FuncDecl {
+	seen := map[*ast.FuncDecl]bool{root: true}
+	work := []*ast.FuncDecl{root}
+	var out []*ast.FuncDecl
+	for len(work) > 0 {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		out = append(out, fn)
+		if fn.Body == nil {
+			continue
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Pkg.Info.Uses[id]
+			if _, isFunc := obj.(*types.Func); !isFunc {
+				return true
+			}
+			callee, ok := decls[obj]
+			if ok && !seen[callee] {
+				seen[callee] = true
+				work = append(work, callee)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkPhaseViolations scans one reachable function for mutations of
+// serial-only state.
+func checkPhaseViolations(pass *Pass, fn *ast.FuncDecl, rootName string, serial map[types.Object]string) {
+	if fn.Body == nil {
+		return
+	}
+	reportSel := func(sel *ast.SelectorExpr, what string) bool {
+		obj := pass.Pkg.Info.Uses[sel.Sel]
+		label, ok := serial[obj]
+		if !ok {
+			return false
+		}
+		pass.Reportf(sel.Pos(), "%s serial-only field %s in code reachable from worker-phase root %s (function %s): only the serial commit phase may touch it",
+			what, label, rootName, fn.Name.Name)
+		return true
+	}
+	// Any serial-only selector inside an lvalue (including its index
+	// expressions) is reported: a write target built from serial state has no
+	// business in the worker phase either way.
+	flagLvalue := func(expr ast.Expr, what string) {
+		ast.Inspect(expr, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				if reportSel(sel, what) {
+					return false
+				}
+			}
+			return true
+		})
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				flagLvalue(lhs, "write to")
+			}
+		case *ast.IncDecStmt:
+			flagLvalue(n.X, "write to")
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				flagLvalue(n.X, "address taken of")
+			}
+		case *ast.CallExpr:
+			// s.events.push(...) mutates the heap through a pointer receiver.
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if !pointerReceiverCall(pass, sel) {
+				return true
+			}
+			if base, ok := sel.X.(*ast.SelectorExpr); ok {
+				reportSel(base, "pointer-receiver method call on")
+			}
+		}
+		return true
+	})
+}
+
+// pointerReceiverCall reports whether the selector is a method call whose
+// declared receiver is a pointer (i.e. the call can mutate the receiver).
+func pointerReceiverCall(pass *Pass, sel *ast.SelectorExpr) bool {
+	selection, ok := pass.Pkg.Info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return false
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	_, isPtr := sig.Recv().Type().(*types.Pointer)
+	return isPtr
+}

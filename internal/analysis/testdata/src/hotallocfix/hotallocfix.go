@@ -1,0 +1,38 @@
+// Package hotallocfix is a hotalloc analyzer fixture: noalloc-annotated
+// functions with one violating escape, one allowlisted escape, and one
+// genuinely allocation-free body.
+package hotallocfix
+
+// Node escapes when boxed or returned by pointer.
+type Node struct {
+	Value int
+	Next  *Node
+}
+
+// Bad: returning a fresh pointer forces a heap allocation.
+//
+//fuselint:noalloc
+func Leak(v int) *Node {
+	return &Node{Value: v} // want `annotated //fuselint:noalloc but the compiler reports`
+}
+
+// Allowed: the identical allocation, blessed by the fixture allowlist.
+//
+//fuselint:noalloc
+func Blessed(v int) *Node {
+	return &Node{Value: v}
+}
+
+// Good: pure arithmetic over a caller-owned buffer never allocates.
+//
+//fuselint:noalloc
+func Sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Unannotated functions may allocate freely.
+func Fresh() *Node { return &Node{} }

@@ -1,0 +1,44 @@
+// Package phasesafefix is a phasesafe analyzer fixture: a miniature of the
+// parallel engine's worker/serial phase split with seeded violations.
+package phasesafefix
+
+type queue struct{ items []int }
+
+func (q *queue) push(v int) { q.items = append(q.items, v) }
+func (q queue) len() int    { return len(q.items) }
+
+// engine mimics sim.Simulator's split between worker-phase and serial-phase
+// state.
+type engine struct {
+	parts     []int
+	chargedTo []int64
+
+	clock  int64 //fuselint:serialonly
+	done   int   //fuselint:serialonly
+	events queue //fuselint:serialonly
+}
+
+// advance is the worker-phase root.
+//
+//fuselint:workerphase
+func (e *engine) advance(i int, t int64) {
+	e.chargedTo[i] = t // worker-shared slot: legal
+	e.clock = t        // want `write to serial-only field engine.clock`
+	e.done++           // want `write to serial-only field engine.done`
+	e.events.push(i)   // want `pointer-receiver method call on serial-only field engine.events`
+	e.helper(i)
+}
+
+// helper is reachable from the root, so the same rules apply.
+func (e *engine) helper(i int) {
+	e.parts[i] = i // legal
+	e.done = i     // want `write to serial-only field engine.done`
+	_ = e.events.len()
+}
+
+// commit is NOT reachable from the worker phase: serial writes are legal.
+func (e *engine) commit(t int64) {
+	e.clock = t
+	e.done = 0
+	e.events.push(0)
+}

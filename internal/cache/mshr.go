@@ -135,6 +135,8 @@ func (m *MSHR) Lookup(block uint64) (*MSHREntry, bool) {
 // entry is created with the given destination bank and read level.
 // The boolean result reports whether the request became a new primary miss
 // (true) or was merged (false).
+//
+//fuselint:noalloc
 func (m *MSHR) Allocate(req mem.Request, dest DestBank, level mem.ReadLevel) (bool, error) {
 	block := req.BlockAddr()
 	if e, ok := m.entries[block]; ok {
@@ -183,6 +185,8 @@ func (m *MSHR) PopUnissued() *MSHREntry {
 
 // Release removes the entry for the block (on fill) and returns it. The
 // second result is false if no entry existed.
+//
+//fuselint:noalloc
 func (m *MSHR) Release(block uint64) (*MSHREntry, bool) {
 	e, ok := m.entries[block]
 	if !ok {
@@ -201,6 +205,8 @@ func (m *MSHR) Release(block uint64) (*MSHREntry, bool) {
 // Recycle returns a released entry to the MSHR's free list so a later
 // Allocate can reuse it. Callers hand the entry back once they are done with
 // its fields; the entry must not be used afterwards.
+//
+//fuselint:noalloc
 func (m *MSHR) Recycle(e *MSHREntry) {
 	if e == nil {
 		return

@@ -124,6 +124,8 @@ func (h *HybridL1D) predict(pc uint64) (level mem.ReadLevel, neutral bool, enabl
 // Access implements L1D. This is the arbitration logic of Figure 9: consult
 // the status of the SRAM bank, the STT-MRAM bank (through the approximation
 // logic when present) and the predictor, then steer the request.
+//
+//fuselint:noalloc
 func (h *HybridL1D) Access(req mem.Request, now int64) AccessResult {
 	res := h.access(req, now)
 	// The predictor samples each accepted request exactly once: a rejected

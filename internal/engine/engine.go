@@ -27,7 +27,12 @@ import (
 )
 
 // Job describes one simulation to execute. Two jobs are the same simulation —
-// and are deduplicated — when their Key() values are equal.
+// and are deduplicated — when their Key() values are equal. Every field must
+// be part of Key, be keyed through the store path (a //fuselint:keyroot
+// type), or carry an explicit //fuselint:execonly justification — fuselint's
+// keydrift analyzer enforces this.
+//
+//fuselint:jobkey Key
 type Job struct {
 	// Kind selects the L1D configuration on the Fermi-class GPU. It is
 	// ignored when GPU is set.
@@ -50,6 +55,8 @@ type Job struct {
 	// It is an execution-resource knob, not part of the job's identity —
 	// results are byte-identical for every value — so it is excluded from
 	// Key() and from the content-addressed store key.
+	//
+	//fuselint:execonly worker count never changes results (TestParallelEngineMatchesSequential)
 	SimWorkers int
 }
 

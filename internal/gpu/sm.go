@@ -217,6 +217,8 @@ func (sm *SM) pickWarp(now int64) *Warp {
 // Cycle advances the SM by one cycle: the L1D retires background work, warps
 // whose wake-up time passed become ready, and the scheduler issues at most
 // one instruction.
+//
+//fuselint:noalloc
 func (sm *SM) Cycle(now int64) {
 	sm.stats.Cycles++
 	sm.l1d.Tick(now)

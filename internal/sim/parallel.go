@@ -263,6 +263,14 @@ func (s *Simulator) runEpoch(t0, rtMin, zllResp int64, work chan epochTask) bool
 // horizon, exactly as the sequential engine would have: idle gaps are charged
 // lazily, the SM is cycled at each of its self-event cycles, and the outgoing
 // requests of each cycle are logged with their drain cycle.
+//
+// This is the parallel engine's worker-phase root: it runs concurrently on
+// worker goroutines, so it and everything it calls may touch only the
+// participant's own state (its SM, its chargedTo slot, its epochPart) —
+// never the //fuselint:serialonly fields (enforced by fuselint/phasesafe).
+//
+//fuselint:workerphase
+//fuselint:noalloc
 func (s *Simulator) advancePart(p *epochPart, horizon int64) {
 	sm := s.sms[p.sm]
 	t := p.wakeAt
@@ -305,6 +313,8 @@ func (s *Simulator) advancePart(p *epochPart, horizon int64) {
 // their handlers depend only on their own timestamps — so processing them
 // batched at the next drain cycle consumes sequence numbers in the identical
 // order to sequential execution.
+//
+//fuselint:noalloc
 func (s *Simulator) commitEpoch(parts []epochPart) {
 	s.commitRecs = s.commitRecs[:0]
 	for k := range parts {

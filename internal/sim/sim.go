@@ -27,6 +27,13 @@
 // so callers that run many simulations back to back — the batch engine,
 // benchmark loops — reuse the event heaps, wake heaps and flat per-warp
 // slabs instead of re-allocating them per run.
+//
+// The package's invariants — determinism, store-key completeness of Options,
+// the allocation-free hot path, and the worker/serial phase split of the
+// parallel engine — are machine-checked by fuselint (go run ./cmd/fuselint
+// ./...) via //fuselint: annotations on the relevant declarations; the
+// directives are documented in the repository README under "Invariants &
+// annotations".
 package sim
 
 import (
@@ -47,6 +54,14 @@ import (
 )
 
 // Options controls a single simulation run.
+//
+// Options is serialised verbatim into the content-addressed result-store key
+// (store.Key): every field must either be keyed or carry an explicit
+// //fuselint:execonly justification — fuselint's keydrift analyzer enforces
+// this. Execution-resource knobs that never change results (like the worker
+// count) live outside Options for exactly this reason (see SetWorkers).
+//
+//fuselint:keyroot
 type Options struct {
 	// InstructionsPerWarp is the per-warp instruction budget.
 	InstructionsPerWarp uint64
@@ -117,6 +132,7 @@ func (e *event) before(at int64, seq uint64) bool {
 // push; the typed heap reuses one backing array for the whole run.
 type eventHeap []event
 
+//fuselint:noalloc
 func (q *eventHeap) push(e event) {
 	h := append(*q, e)
 	i := len(h) - 1
@@ -131,6 +147,7 @@ func (q *eventHeap) push(e event) {
 	*q = h
 }
 
+//fuselint:noalloc
 func (q *eventHeap) pop() event {
 	h := *q
 	top := h[0]
@@ -285,34 +302,39 @@ type Simulator struct {
 	workload trace.Workload
 	opts     Options
 
+	// The shared machine and the clock belong to the serial phase of the
+	// parallel engine: code reachable from a //fuselint:workerphase root
+	// must never mutate them (fuselint's phasesafe analyzer enforces this).
+	// sms and the per-SM chargedTo slots are worker-phase state — each
+	// epoch participant is owned by exactly one worker.
 	sms  []*gpu.SM
-	net  *noc.Network
-	l2   *l2.L2
-	dram *dram.DRAM
+	net  *noc.Network //fuselint:serialonly
+	l2   *l2.L2       //fuselint:serialonly
+	dram *dram.DRAM   //fuselint:serialonly
 
-	events   eventHeap
-	eventSeq uint64
-	now      int64
+	events   eventHeap //fuselint:serialonly
+	eventSeq uint64    //fuselint:serialonly
+	now      int64     //fuselint:serialonly
 	// memTickAt/memTickSeq are the armed memory-controller wake-up: the
 	// earliest cycle the controller can make progress, ordered against the
 	// event heap by (at, seq). -1 when the controller is idle.
-	memTickAt  int64
-	memTickSeq uint64
-	staleTicks []staleTick
+	memTickAt  int64       //fuselint:serialonly
+	memTickSeq uint64      //fuselint:serialonly
+	staleTicks []staleTick //fuselint:serialonly
 
 	// Sparse-engine state: per-SM wake heap, lazily charged idle cycles,
 	// and the dirty list drainOutgoing pulls from.
-	wake      smWakeHeap
-	chargedTo []int64 // SM i is charged for every cycle < chargedTo[i]
-	doneSMs   int
-	dirty     []int
-	dirtyMark []bool
-	readyBuf  []int
+	wake      smWakeHeap //fuselint:serialonly
+	chargedTo []int64    // SM i is charged for every cycle < chargedTo[i]
+	doneSMs   int        //fuselint:serialonly
+	dirty     []int      //fuselint:serialonly
+	dirtyMark []bool     //fuselint:serialonly
+	readyBuf  []int      //fuselint:serialonly
 
 	// Latency decomposition of completed fills (Figure 1).
-	nocCycles int64
-	memCycles int64
-	fills     uint64
+	nocCycles int64  //fuselint:serialonly
+	memCycles int64  //fuselint:serialonly
+	fills     uint64 //fuselint:serialonly
 
 	// arena is the scratch region the simulator was built with (nil when
 	// the buffers are privately owned); see arena.go.
@@ -323,7 +345,7 @@ type Simulator struct {
 	// dispatch primitives shared with the parked helper goroutines.
 	workers    int
 	parts      []epochPart
-	commitRecs []commitRec
+	commitRecs []commitRec //fuselint:serialonly
 	epochNext  atomic.Int64
 	epochWG    sync.WaitGroup
 }

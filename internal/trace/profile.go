@@ -28,6 +28,12 @@ type ReadLevelMix struct {
 func (m ReadLevelMix) Sum() float64 { return m.WM + m.ReadIntensive + m.WORM + m.WORO }
 
 // Profile describes one benchmark.
+//
+// A synthetic workload's store-key material is its Profile encoding, so the
+// struct is a key root: fuselint's keydrift analyzer requires every field to
+// be keyed or explicitly annotated //fuselint:execonly.
+//
+//fuselint:keyroot
 type Profile struct {
 	// Name is the benchmark name as used in the paper's figures.
 	Name string

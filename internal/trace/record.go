@@ -106,6 +106,7 @@ func (r *Recorder) Trace(meta TraceMeta) *Trace {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	maxSM := -1
+	//fuselint:ordered max reduction, order-insensitive
 	for sm := range r.steps {
 		if sm > maxSM {
 			maxSM = sm
@@ -115,6 +116,7 @@ func (r *Recorder) Trace(meta TraceMeta) *Trace {
 	if meta.Workload == "" {
 		t.Meta.Workload = r.inner.Name()
 	}
+	//fuselint:ordered writes to disjoint index-addressed slots, order-insensitive
 	for sm, steps := range r.steps {
 		t.Steps[sm] = *steps
 	}
