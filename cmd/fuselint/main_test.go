@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestExitCodeOnLoadError pins exit code 2 for a package that does not
+// type-check: a broken tree must fail the CI gate as fuselint's own error,
+// never pass as "no findings".
+func TestExitCodeOnLoadError(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"fuse/cmd/fuselint/testdata/broken"}, &stdout, &stderr)
+	if code != exitError {
+		t.Fatalf("run on a non-type-checking package: exit %d, want %d\nstderr: %s", code, exitError, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "fuselint:") {
+		t.Errorf("stderr does not explain the failure: %q", stderr.String())
+	}
+}
+
+// TestExitCodeOnUnknownAnalyzer pins exit code 2 for a bad -only name: a
+// typo in the CI invocation must not silently run nothing.
+func TestExitCodeOnUnknownAnalyzer(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-only", "nosuchanalyzer", "./..."}, &stdout, &stderr)
+	if code != exitError {
+		t.Fatalf("run with unknown -only name: exit %d, want %d", code, exitError)
+	}
+	if !strings.Contains(stderr.String(), "unknown analyzer") {
+		t.Errorf("stderr does not name the bad analyzer: %q", stderr.String())
+	}
+}
+
+// TestExitCodeAndJSONOnFindings runs one analyzer over its own fixture (which
+// has seeded violations by construction) and pins exit code 1 plus the -json
+// encoding the problem matcher and other tools consume.
+func TestExitCodeAndJSONOnFindings(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", "-only", "detmap", "fuse/internal/analysis/testdata/src/detmapfix"}, &stdout, &stderr)
+	if code != exitFindings {
+		t.Fatalf("run on the detmap fixture: exit %d, want %d\nstderr: %s", code, exitFindings, stderr.String())
+	}
+	var diags []jsonDiagnostic
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("stdout is not a JSON array of findings: %v\n%s", err, stdout.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("JSON output has no findings despite exit code 1")
+	}
+	for _, d := range diags {
+		if d.File == "" || d.Line == 0 || d.Analyzer != "detmap" || d.Message == "" {
+			t.Errorf("incomplete JSON finding: %+v", d)
+		}
+	}
+}
+
+// TestExitCodeOnList pins exit code 0 for -list, which must name every
+// analyzer of the suite.
+func TestExitCodeOnList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-list"}, &stdout, &stderr)
+	if code != exitClean {
+		t.Fatalf("run -list: exit %d, want %d", code, exitClean)
+	}
+	for _, name := range []string{"detmap", "keydrift", "hotalloc", "phasesafe", "statflow", "ctxflow", "lockorder"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output does not mention %s:\n%s", name, stdout.String())
+		}
+	}
+}

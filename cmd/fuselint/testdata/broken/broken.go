@@ -1,0 +1,5 @@
+// Package broken deliberately fails type-checking: fuselint must exit 2 (its
+// own failure), not 0 or 1, when it cannot analyse what it was pointed at.
+package broken
+
+var x int = "not an int"

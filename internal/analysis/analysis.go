@@ -1,8 +1,8 @@
 // Package analysis is fuselint's static-analysis suite: a small, dependency-
 // free framework in the spirit of golang.org/x/tools/go/analysis (which is
 // intentionally not imported — the module has no third-party dependencies)
-// plus the four analyzers that pin this repository's load-bearing invariants
-// at compile time:
+// plus the seven analyzers that pin this repository's load-bearing
+// invariants at compile time:
 //
 //   - detmap — determinism: no map-ordered iteration, wall clocks, global
 //     randomness or environment reads on any path that can reach simulation
@@ -13,9 +13,22 @@
 //   - hotalloc — allocation budget: functions annotated //fuselint:noalloc
 //     are checked against the compiler's escape analysis, with a golden
 //     allowlist for the few deliberate allocations (see hotalloc.go);
-//   - phasesafe — parallel-phase safety: code reachable from the parallel
-//     engine's worker-phase roots must not touch serial-only simulator state
-//     (see phasesafe.go).
+//   - phasesafe — parallel-phase safety, whole-program: code reachable from
+//     the parallel engine's worker-phase roots — across packages, through
+//     in-repo interfaces — must not touch serial-only simulator state,
+//     package-level variables, non-SM-owned receivers or peer-SM instances
+//     (see phasesafe.go and the call-graph substrate in xpkg.go);
+//   - statflow — metric conservation: every counter the simulation core
+//     increments must be read (aggregated, rendered or exposed) or annotated
+//     //fuselint:internalstat, and every sim.Result field must survive into
+//     the real JSON encoding (see statflow.go);
+//   - ctxflow — cancellation discipline in the serving layer: contexts are
+//     threaded to <Name>Context siblings, no bare sleeps, channel operations
+//     guarded by ctx.Done() selects, handlers derive from r.Context() (see
+//     ctxflow.go);
+//   - lockorder — mutex discipline in the serving layer: unlock pairing, no
+//     blocking work under a held lock, one global acquisition order (see
+//     lockorder.go).
 //
 // The analyzers are annotation-driven. The directives (all of the form
 // "//fuselint:<name> [args]") are documented in the repository README under
@@ -147,5 +160,5 @@ func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
 
 // All returns the full fuselint suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Detmap, Keydrift, Hotalloc, Phasesafe}
+	return []*Analyzer{Detmap, Keydrift, Hotalloc, Phasesafe, Statflow, Ctxflow, Lockorder}
 }

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -25,25 +26,39 @@ type expectation struct {
 	hit  bool
 }
 
-// loadFixture type-checks one testdata package and returns its program plus
-// the parsed want expectations.
+// loadFixture type-checks one testdata fixture — the named package and every
+// subdirectory package it contains (the `...` wildcard does not expand under
+// testdata, so the directories are enumerated explicitly) — and returns its
+// program plus the parsed want expectations from every .go file in the tree.
 func loadFixture(t *testing.T, name string) (*Program, []*expectation) {
 	t.Helper()
 	dir := filepath.Join("testdata", "src", name)
-	prog, err := Load(".", "./"+filepath.ToSlash(dir))
+	pkgDirs := make(map[string]bool)
+	var goFiles []string
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".go") {
+			pkgDirs[filepath.Dir(path)] = true
+			goFiles = append(goFiles, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var patterns []string
+	for pd := range pkgDirs {
+		patterns = append(patterns, "./"+filepath.ToSlash(pd))
+	}
+	sort.Strings(patterns)
+	prog, err := Load(".", patterns...)
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", name, err)
 	}
 	var wants []*expectation
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, e := range entries {
-		if !strings.HasSuffix(e.Name(), ".go") {
-			continue
-		}
-		path := filepath.Join(dir, e.Name())
+	for _, path := range goFiles {
 		f, err := os.Open(path)
 		if err != nil {
 			t.Fatal(err)
@@ -135,6 +150,15 @@ func TestHotallocFixture(t *testing.T) {
 
 func TestPhasesafeFixture(t *testing.T) { runFixture(t, "phasesafe", "phasesafefix") }
 
+// TestPhasesafeCrossPackageFixture proves the worker-phase walk crosses
+// package boundaries and interfaces: every seeded violation lives in a
+// subpackage the root only reaches through calls.
+func TestPhasesafeCrossPackageFixture(t *testing.T) { runFixture(t, "phasesafe", "phasesafexfix") }
+
+func TestStatflowFixture(t *testing.T)  { runFixture(t, "statflow", "statflowfix") }
+func TestCtxflowFixture(t *testing.T)   { runFixture(t, "ctxflow", "ctxflowfix") }
+func TestLockorderFixture(t *testing.T) { runFixture(t, "lockorder", "lockorderfix") }
+
 // TestRepoIsClean runs the full suite over the real tree — the same gate CI
 // enforces with `go run ./cmd/fuselint ./...`. Any regression against the
 // repo's invariants (a new map-ordered loop, an unkeyed config field, a hot-
@@ -178,5 +202,33 @@ func TestDirectiveScoping(t *testing.T) {
 	}
 	if len(got) != 0 {
 		t.Errorf("serialonly directives in sim are trailing by convention; standalone ones risk annotating the wrong field:\n%s", strings.Join(got, "\n"))
+	}
+}
+
+// TestDirectiveScopingAcrossPackages pins that directives belong to the
+// package whose file declares them: the smowned annotation in the
+// phasesafexfix fixture lives on smlib.SM, so it must be visible when
+// scanning smlib and invisible from the root fixture package — a leak in
+// either direction would let one package annotate away another package's
+// violations.
+func TestDirectiveScopingAcrossPackages(t *testing.T) {
+	prog, _ := loadFixture(t, "phasesafexfix")
+	smowned := make(map[string]int)
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, d := range pkg.fileDirectives(prog.Fset, f) {
+				if d.Name == "smowned" {
+					smowned[pkg.Path]++
+				}
+			}
+		}
+	}
+	const root = "fuse/internal/analysis/testdata/src/phasesafexfix"
+	const sub = root + "/smlib"
+	if smowned[sub] != 1 {
+		t.Errorf("smlib declares 1 smowned directive, scan found %d", smowned[sub])
+	}
+	if smowned[root] != 0 {
+		t.Errorf("the root fixture package declares no smowned directives, scan found %d — a directive leaked across the package boundary", smowned[root])
 	}
 }

@@ -230,33 +230,44 @@ var nondetAllowedRand = map[string]bool{
 }
 
 func checkNondetCall(pass *Pass, info *types.Info, call *ast.CallExpr) {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return
+	if what, why, ok := nondetCall(info, call); ok {
+		pass.Reportf(call.Pos(), "%s in the simulation core: %s", what, why)
 	}
-	pkgID, ok := sel.X.(*ast.Ident)
-	if !ok {
-		return
+}
+
+// nondetCall classifies a call against the nondeterminism denylist and
+// returns the offending call ("time.Now") and the reason it is forbidden.
+// Shared by detmap's per-package scan and phasesafe's interprocedural
+// worker-phase walk.
+func nondetCall(info *types.Info, call *ast.CallExpr) (what, why string, ok bool) {
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return "", "", false
 	}
-	pkgName, ok := info.ObjectOf(pkgID).(*types.PkgName)
-	if !ok {
-		return
+	pkgID, okID := sel.X.(*ast.Ident)
+	if !okID {
+		return "", "", false
+	}
+	pkgName, okPkg := info.ObjectOf(pkgID).(*types.PkgName)
+	if !okPkg {
+		return "", "", false
 	}
 	name := sel.Sel.Name
 	switch pkgName.Imported().Path() {
 	case "time":
 		if name == "Now" || name == "Since" || name == "Until" {
-			pass.Reportf(call.Pos(), "time.%s in the simulation core: results must not depend on the wall clock", name)
+			return "time." + name, "results must not depend on the wall clock", true
 		}
 	case "math/rand", "math/rand/v2":
 		if !nondetAllowedRand[name] {
-			pass.Reportf(call.Pos(), "global math/rand.%s in the simulation core: use a seeded rand.New(rand.NewSource(...)) derived from Options.Seed", name)
+			return "global math/rand." + name, "use a seeded rand.New(rand.NewSource(...)) derived from Options.Seed", true
 		}
 	case "os":
 		if name == "Getenv" || name == "Environ" || name == "LookupEnv" {
-			pass.Reportf(call.Pos(), "os.%s in the simulation core: results must not depend on the environment", name)
+			return "os." + name, "results must not depend on the environment", true
 		}
 	}
+	return "", "", false
 }
 
 // exprString renders a short source form of simple expressions for messages.

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -17,45 +18,88 @@ import (
 // The contract is annotated in the source:
 //
 //   - `//fuselint:workerphase` on a function marks it a worker-phase root —
-//     it and everything it (transitively, within its package) calls runs
-//     concurrently on worker goroutines;
+//     it and everything it transitively calls, across package boundaries and
+//     through in-repo interfaces, runs concurrently on worker goroutines;
 //   - `//fuselint:serialonly` on a Simulator field marks it serial-phase
-//     state.
+//     state;
+//   - `//fuselint:smowned <reason>` on a type declares that each instance is
+//     owned by exactly one SM per epoch, so its methods may mutate their
+//     receiver from the worker phase.
 //
-// The analyzer walks the static call graph from each root and rejects, in
-// any reachable function: writes to serial-only fields (assignment,
-// increment/decrement, address-taken) and calls of pointer-receiver methods
-// on serial-only fields (a mutation by another name). Reads of shared
-// immutable state (opts, sms, the per-SM chargedTo slots) stay legal.
+// The analyzer builds the whole-program call graph (see xpkg.go) from each
+// root and rejects, in any reachable function:
 //
-// The call-graph walk is intra-package, which is sound here: every
-// serial-only field is unexported, so all access is from within
-// fuse/internal/sim, and the worker-phase roots call out of the package only
-// into per-SM objects they own for the epoch.
+//   - writes to serial-only fields (assignment, increment/decrement,
+//     address-taken) and calls of pointer-receiver methods on serial-only
+//     fields (a mutation by another name);
+//   - writes to (or pointer-receiver method calls on) package-level
+//     variables, in any package — worker goroutines run concurrently;
+//   - outside the root's own package, receiver mutation in methods of types
+//     not annotated //fuselint:smowned;
+//   - writes that traverse into another instance of the receiver's own type
+//     (a `peer *SM` field or an *SM-typed local), which is by definition
+//     state some other worker may own;
+//   - interprocedural reach of detmap's nondeterminism denylist
+//     (time.Now/Since/Until, the global math/rand generators, os.Getenv and
+//     friends).
+//
+// Reads of shared immutable state (opts, sms, the per-SM chargedTo slots)
+// stay legal. The walk resolves interface calls conservatively to every
+// in-repo implementation, so the guarantee is whole-program: what PR 7
+// assumed in prose — that worker-phase roots only reach per-SM state outside
+// the sim package — is now checked.
 var Phasesafe = &Analyzer{
-	Name: "phasesafe",
-	Doc:  "rejects writes to serial-only simulator state reachable from worker-phase roots",
-	Run:  runPhasesafe,
+	Name:   "phasesafe",
+	Doc:    "rejects worker-phase-reachable mutation of serial-only, package-level or non-SM-owned state, across packages",
+	Run:    runPhasesafe,
+	Finish: finishPhasesafe,
 }
 
+// phasesafeRoot is one //fuselint:workerphase function, as collected by the
+// per-package Run pass.
+type phasesafeRoot struct {
+	id      string // stable cross-universe function ID
+	name    string // display name for messages
+	pkgPath string
+}
+
+// phasesafeState carries the per-package facts to the program-wide Finish
+// pass.
+type phasesafeState struct {
+	roots  []phasesafeRoot
+	serial map[string]string // fieldID -> Struct.Field label
+}
+
+func phasesafeStateOf(prog *Program) *phasesafeState {
+	st, ok := prog.State["phasesafe"].(*phasesafeState)
+	if !ok {
+		st = &phasesafeState{serial: make(map[string]string)}
+		prog.State["phasesafe"] = st
+	}
+	return st
+}
+
+// runPhasesafe collects the worker-phase roots and serial-only fields of one
+// package; the cross-package walk happens in finishPhasesafe.
 func runPhasesafe(pass *Pass) error {
 	fset := pass.Prog.Fset
-	serial := make(map[types.Object]string) // field object -> Struct.Field label
-	var roots []*ast.FuncDecl
-	rootFiles := make(map[*ast.FuncDecl]*ast.File)
-	decls := make(map[types.Object]*ast.FuncDecl)
+	st := phasesafeStateOf(pass.Prog)
+	var rootCount, serialCount int
 
 	for _, f := range pass.Pkg.Files {
 		for _, decl := range f.Decls {
 			switch decl := decl.(type) {
 			case *ast.FuncDecl:
-				if obj := pass.Pkg.Info.Defs[decl.Name]; obj != nil {
-					decls[obj] = decl
+				if _, ok := pass.Pkg.nodeDirective(fset, f, decl.Doc, decl, "workerphase"); !ok {
+					continue
 				}
-				if _, ok := pass.Pkg.nodeDirective(fset, f, decl.Doc, decl, "workerphase"); ok {
-					roots = append(roots, decl)
-					rootFiles[decl] = f
+				obj, _ := pass.Pkg.Info.Defs[decl.Name].(*types.Func)
+				id := funcID(obj)
+				if id == "" {
+					continue
 				}
+				st.roots = append(st.roots, phasesafeRoot{id: id, name: decl.Name.Name, pkgPath: pass.Pkg.Path})
+				rootCount++
 			case *ast.GenDecl:
 				if decl.Tok != token.TYPE {
 					continue
@@ -65,19 +109,18 @@ func runPhasesafe(pass *Pass) error {
 					if !ok {
 						continue
 					}
-					st, ok := ts.Type.(*ast.StructType)
+					structType, ok := ts.Type.(*ast.StructType)
 					if !ok {
 						continue
 					}
-					for _, field := range st.Fields.List {
+					for _, field := range structType.Fields.List {
 						ok, _ := fieldDirective(pass, pass.Pkg, f, field, "serialonly")
 						if !ok {
 							continue
 						}
 						for _, name := range field.Names {
-							if obj := pass.Pkg.Info.Defs[name]; obj != nil {
-								serial[obj] = ts.Name.Name + "." + name.Name
-							}
+							st.serial[pass.Pkg.Path+"."+ts.Name.Name+"."+name.Name] = ts.Name.Name + "." + name.Name
+							serialCount++
 						}
 					}
 				}
@@ -85,99 +128,192 @@ func runPhasesafe(pass *Pass) error {
 		}
 	}
 
-	checkPhasesafeAnchors(pass, roots, serial)
-	if len(roots) == 0 || len(serial) == 0 {
-		return nil
-	}
-
-	for _, root := range roots {
-		for _, fn := range reachableFuncs(pass, root, decls) {
-			checkPhaseViolations(pass, fn, root.Name.Name, serial)
+	// Anchors keep the annotations from rotting in the package the analyzer
+	// exists for: the parallel engine must declare at least one worker-phase
+	// root and its serial-only state.
+	if pass.Pkg.Path == "fuse/internal/sim" {
+		if rootCount == 0 {
+			pass.Reportf(pass.Pkg.Files[0].Pos(), "fuse/internal/sim declares no //fuselint:workerphase root: the parallel engine's advance phase is unguarded")
+		}
+		if serialCount == 0 {
+			pass.Reportf(pass.Pkg.Files[0].Pos(), "fuse/internal/sim annotates no //fuselint:serialonly fields: phasesafe has nothing to protect")
 		}
 	}
 	return nil
 }
 
-// checkPhasesafeAnchors keeps the annotations themselves from rotting in the
-// package the analyzer exists for: the parallel engine must declare at least
-// one worker-phase root and its serial-only state.
-func checkPhasesafeAnchors(pass *Pass, roots []*ast.FuncDecl, serial map[types.Object]string) {
-	if pass.Pkg.Path != "fuse/internal/sim" {
-		return
+// finishPhasesafe walks the whole-program call graph from every worker-phase
+// root and enforces the phase rules in each reachable function.
+func finishPhasesafe(prog *Program, report func(Diagnostic)) error {
+	st := phasesafeStateOf(prog)
+	if len(st.roots) == 0 {
+		return nil
 	}
-	if len(roots) == 0 {
-		pass.Reportf(pass.Pkg.Files[0].Pos(), "fuse/internal/sim declares no //fuselint:workerphase root: the parallel engine's advance phase is unguarded")
+	idx := xpkgOf(prog)
+	w := &phaseWalker{
+		prog:    prog,
+		idx:     idx,
+		serial:  st.serial,
+		smowned: make(map[string]bool),
+		emitted: make(map[string]bool),
+		report:  report,
 	}
-	if len(serial) == 0 {
-		pass.Reportf(pass.Pkg.Files[0].Pos(), "fuse/internal/sim annotates no //fuselint:serialonly fields: phasesafe has nothing to protect")
-	}
-}
-
-// reachableFuncs returns the root plus every same-package function it
-// transitively references (calls, method values, function values — any use
-// of a package-local func identifier counts as an edge, which over-
-// approximates reachability and is therefore safe).
-func reachableFuncs(pass *Pass, root *ast.FuncDecl, decls map[types.Object]*ast.FuncDecl) []*ast.FuncDecl {
-	seen := map[*ast.FuncDecl]bool{root: true}
-	work := []*ast.FuncDecl{root}
-	var out []*ast.FuncDecl
-	for len(work) > 0 {
-		fn := work[len(work)-1]
-		work = work[:len(work)-1]
-		out = append(out, fn)
-		if fn.Body == nil {
+	for _, root := range st.roots {
+		fi, ok := idx.byID[root.id]
+		if !ok {
 			continue
 		}
-		ast.Inspect(fn.Body, func(n ast.Node) bool {
-			id, ok := n.(*ast.Ident)
-			if !ok {
-				return true
-			}
-			obj := pass.Pkg.Info.Uses[id]
-			if _, isFunc := obj.(*types.Func); !isFunc {
-				return true
-			}
-			callee, ok := decls[obj]
-			if ok && !seen[callee] {
-				seen[callee] = true
-				work = append(work, callee)
-			}
-			return true
-		})
+		for _, fn := range idx.reachable([]*funcInfo{fi}) {
+			w.checkFunc(fn, root)
+		}
 	}
-	return out
+	return nil
 }
 
-// checkPhaseViolations scans one reachable function for mutations of
-// serial-only state.
-func checkPhaseViolations(pass *Pass, fn *ast.FuncDecl, rootName string, serial map[types.Object]string) {
-	if fn.Body == nil {
+// phaseWalker holds the shared state of one finishPhasesafe pass.
+type phaseWalker struct {
+	prog    *Program
+	idx     *xpkgIndex
+	serial  map[string]string
+	smowned map[string]bool // typeID -> has //fuselint:smowned (cached)
+	emitted map[string]bool // position+message dedup across overlapping roots
+	report  func(Diagnostic)
+}
+
+func (w *phaseWalker) reportf(pos token.Pos, format string, args ...any) {
+	d := Diagnostic{Pos: w.prog.Fset.Position(pos)}
+	d.Message = fmt.Sprintf(format, args...)
+	key := d.Pos.String() + "\x00" + d.Message
+	if w.emitted[key] {
 		return
 	}
-	reportSel := func(sel *ast.SelectorExpr, what string) bool {
-		obj := pass.Pkg.Info.Uses[sel.Sel]
-		label, ok := serial[obj]
+	w.emitted[key] = true
+	w.report(d)
+}
+
+// typeIsSMOwned reports (and caches) whether the named type carries a
+// //fuselint:smowned directive at its declaration.
+func (w *phaseWalker) typeIsSMOwned(pkg *Package, typeName string) bool {
+	key := pkg.Path + "." + typeName
+	if v, ok := w.smowned[key]; ok {
+		return v
+	}
+	v := false
+	if ts, f := findTypeSpec(pkg, typeName); ts != nil {
+		if _, ok := pkg.nodeDirective(w.prog.Fset, f, ts.Doc, ts, "smowned"); ok {
+			v = true
+		} else if gd := enclosingGenDecl(f, ts); gd != nil {
+			if _, ok := pkg.nodeDirective(w.prog.Fset, f, gd.Doc, ts, "smowned"); ok {
+				v = true
+			}
+		}
+	}
+	w.smowned[key] = v
+	return v
+}
+
+// checkFunc enforces the worker-phase rules in one reachable function.
+func (w *phaseWalker) checkFunc(fn *funcInfo, root phasesafeRoot) {
+	if fn.Decl.Body == nil {
+		return
+	}
+	info := fn.Pkg.Info
+
+	// Receiver identity, for the ownership rules (which apply only outside
+	// the root's own package: the root package is the engine itself, whose
+	// split is governed by serialonly instead).
+	var recvObj types.Object
+	var recvNamedID, recvTypeName string
+	ownership := fn.Pkg.Path != root.pkgPath
+	if fn.Decl.Recv != nil && len(fn.Decl.Recv.List) == 1 && len(fn.Decl.Recv.List[0].Names) == 1 {
+		recvObj = info.Defs[fn.Decl.Recv.List[0].Names[0]]
+		if obj, ok := info.Defs[fn.Decl.Name].(*types.Func); ok {
+			recvNamedID = recvTypeID(obj)
+		}
+	}
+	if i := lastDot(recvNamedID); i >= 0 {
+		recvTypeName = recvNamedID[i+1:]
+	}
+	smownedReported := false
+
+	// reportSerial flags a selector that resolves to a serial-only field.
+	reportSerial := func(sel *ast.SelectorExpr, what string) bool {
+		label, ok := w.serial[selFieldID(info, sel)]
 		if !ok {
 			return false
 		}
-		pass.Reportf(sel.Pos(), "%s serial-only field %s in code reachable from worker-phase root %s (function %s): only the serial commit phase may touch it",
-			what, label, rootName, fn.Name.Name)
+		w.reportf(sel.Pos(), "%s serial-only field %s in code reachable from worker-phase root %s (function %s): only the serial commit phase may touch it",
+			what, label, root.name, fn.Decl.Name.Name)
 		return true
 	}
-	// Any serial-only selector inside an lvalue (including its index
-	// expressions) is reported: a write target built from serial state has no
-	// business in the worker phase either way.
+
+	// checkPeer rejects lvalue chains that traverse into another instance of
+	// the receiver's own type (`sm.peer.cycles++`, `*sm.peer = ...`): that
+	// instance belongs to some other worker's SM. `above` is true when a
+	// selection or dereference happens above the current node.
+	var checkPeer func(expr ast.Expr, above bool)
+	checkPeer = func(expr ast.Expr, above bool) {
+		if recvNamedID == "" {
+			return
+		}
+		switch e := expr.(type) {
+		case *ast.SelectorExpr:
+			if above {
+				if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal && typeContains(sel.Obj().Type(), recvNamedID) {
+					w.reportf(e.Pos(), "worker-phase code reachable from root %s writes through %s into another %s instance: an SM may only mutate state it owns for the epoch",
+						root.name, exprString(e), recvTypeName)
+				}
+			}
+			checkPeer(e.X, true)
+		case *ast.StarExpr:
+			checkPeer(e.X, true)
+		case *ast.IndexExpr:
+			checkPeer(e.X, above)
+		case *ast.ParenExpr:
+			checkPeer(e.X, above)
+		}
+	}
+
+	// flagLvalue applies every write rule to one write target (or
+	// address-taken expression).
 	flagLvalue := func(expr ast.Expr, what string) {
+		// Serial-only state: any serial selector inside the lvalue
+		// (including its index expressions) is reported — a write target
+		// built from serial state has no business in the worker phase.
 		ast.Inspect(expr, func(n ast.Node) bool {
 			if sel, ok := n.(*ast.SelectorExpr); ok {
-				if reportSel(sel, what) {
+				if reportSerial(sel, what) {
 					return false
 				}
 			}
 			return true
 		})
+		baseObj := lvalueRootObj(info, expr)
+		if isPkgLevelVar(baseObj) {
+			w.reportf(expr.Pos(), "%s package-level var %s in code reachable from worker-phase root %s (function %s): worker goroutines run concurrently",
+				what, baseObj.Name(), root.name, fn.Decl.Name.Name)
+		}
+		if !ownership {
+			return
+		}
+		checkPeer(expr, false)
+		if recvObj != nil && baseObj == recvObj {
+			// Peer-typed locals and params are handled below; a plain
+			// receiver mutation needs the type-level ownership declaration.
+			if recvTypeName != "" && !w.typeIsSMOwned(fn.Pkg, recvTypeName) && !smownedReported {
+				smownedReported = true
+				w.reportf(expr.Pos(), "method %s of %s mutates its receiver in code reachable from worker-phase root %s: annotate the type //fuselint:smowned <reason> if each instance is owned by one SM per epoch, or move the mutation to the serial phase",
+					fn.Decl.Name.Name, recvTypeName, root.name)
+			}
+		} else if v, ok := baseObj.(*types.Var); ok && !v.IsField() && recvNamedID != "" && typeContains(v.Type(), recvNamedID) {
+			// Writing through an *SM-typed local or parameter that is not
+			// the receiver: another instance of the owning type.
+			w.reportf(expr.Pos(), "worker-phase code reachable from root %s writes through %s-typed variable %s that is not the method receiver: an SM may only mutate state it owns for the epoch",
+				root.name, recvTypeName, v.Name())
+		}
 	}
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
+
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.AssignStmt:
 			for _, lhs := range n.Lhs {
@@ -190,26 +326,128 @@ func checkPhaseViolations(pass *Pass, fn *ast.FuncDecl, rootName string, serial 
 				flagLvalue(n.X, "address taken of")
 			}
 		case *ast.CallExpr:
-			// s.events.push(...) mutates the heap through a pointer receiver.
+			if what, why, ok := nondetCall(info, n); ok {
+				w.reportf(n.Pos(), "%s reachable from worker-phase root %s (function %s): %s", what, root.name, fn.Decl.Name.Name, why)
+			}
 			sel, ok := n.Fun.(*ast.SelectorExpr)
 			if !ok {
 				return true
 			}
-			if !pointerReceiverCall(pass, sel) {
+			if !pointerReceiverCall(info, sel) {
 				return true
 			}
+			// s.events.push(...) mutates the heap through a pointer
+			// receiver; registry.mu.Lock() mutates a package-level var.
 			if base, ok := sel.X.(*ast.SelectorExpr); ok {
-				reportSel(base, "pointer-receiver method call on")
+				reportSerial(base, "pointer-receiver method call on")
+			}
+			if obj := lvalueRootObj(info, sel.X); isPkgLevelVar(obj) {
+				w.reportf(sel.Pos(), "pointer-receiver method call on package-level var %s in code reachable from worker-phase root %s (function %s): worker goroutines run concurrently",
+					obj.Name(), root.name, fn.Decl.Name.Name)
+			}
+			if ownership {
+				checkPeer(sel.X, true)
 			}
 		}
 		return true
 	})
 }
 
+// findTypeSpec locates the declaration of any named type in a package —
+// unlike findStructDecl it also matches non-struct types (`type rngState
+// uint64`), which can carry //fuselint:smowned too.
+func findTypeSpec(pkg *Package, name string) (*ast.TypeSpec, *ast.File) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				if ts, ok := spec.(*ast.TypeSpec); ok && ts.Name.Name == name {
+					return ts, f
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// lvalueRootObj resolves the base object an lvalue chain is rooted in: the
+// receiver or local for `x.f[i].g`, the package-level variable for
+// `pkg.Var.f` or `localPkgVar[i]`.
+func lvalueRootObj(info *types.Info, expr ast.Expr) types.Object {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return info.ObjectOf(e)
+	case *ast.SelectorExpr:
+		if id, ok := e.X.(*ast.Ident); ok {
+			if _, isPkg := info.ObjectOf(id).(*types.PkgName); isPkg {
+				return info.ObjectOf(e.Sel)
+			}
+		}
+		return lvalueRootObj(info, e.X)
+	case *ast.IndexExpr:
+		return lvalueRootObj(info, e.X)
+	case *ast.StarExpr:
+		return lvalueRootObj(info, e.X)
+	case *ast.ParenExpr:
+		return lvalueRootObj(info, e.X)
+	}
+	return nil
+}
+
+// isPkgLevelVar reports whether the object is a package-scope variable.
+func isPkgLevelVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	return ok && !v.IsField() && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// typeContains reports whether the type is, or is a pointer/slice/array/map
+// reaching, the named type with the given ID — `*SM`, `[]*SM`,
+// `map[int]*SM` all contain `gpu.SM`.
+func typeContains(t types.Type, namedID string) bool {
+	for i := 0; i < 16; i++ {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		case *types.Map:
+			t = u.Elem()
+		case *types.Named:
+			return typeID(u) == namedID
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// selFieldID returns the stable field ID of a field selection, or "".
+func selFieldID(info *types.Info, sel *ast.SelectorExpr) string {
+	s, ok := info.Selections[sel]
+	if !ok {
+		return ""
+	}
+	return fieldID(s)
+}
+
+func lastDot(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '.' {
+			return i
+		}
+	}
+	return -1
+}
+
 // pointerReceiverCall reports whether the selector is a method call whose
 // declared receiver is a pointer (i.e. the call can mutate the receiver).
-func pointerReceiverCall(pass *Pass, sel *ast.SelectorExpr) bool {
-	selection, ok := pass.Pkg.Info.Selections[sel]
+func pointerReceiverCall(info *types.Info, sel *ast.SelectorExpr) bool {
+	selection, ok := info.Selections[sel]
 	if !ok || selection.Kind() != types.MethodVal {
 		return false
 	}

@@ -1,0 +1,56 @@
+// Package ctxflowfix is the ctxflow analyzer fixture: a miniature serving
+// layer with seeded cancellation-discipline violations — dropped Context
+// siblings, bare sleeps, unguarded channel operations and a handler that
+// manufactures its own context.
+package ctxflowfix
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// Run is the context-free legacy entry point; RunContext is its sibling.
+func Run() int { return 1 }
+
+// RunContext is the cancellable variant callers must prefer.
+func RunContext(ctx context.Context) int { return 1 }
+
+// Server carries a method pair mirroring Run/RunContext.
+type Server struct{ ch chan int }
+
+// Do is the context-free method.
+func (s *Server) Do() {}
+
+// DoContext is its cancellable sibling.
+func (s *Server) DoContext(ctx context.Context) {}
+
+// serve is context-aware, so every rule applies to its body.
+func serve(ctx context.Context, s *Server) {
+	_ = Run()               // want `call to Run drops the context: ctxflowfix.RunContext exists and accepts one`
+	s.Do()                  // want `call to Do drops the context: Server.DoContext exists and accepts one`
+	_ = RunContext(ctx)     // threading the context: legal
+	time.Sleep(time.Second) // want `time.Sleep in a context-aware function`
+	s.ch <- 1               // want `channel send without cancellation in context-aware function serve`
+	<-s.ch                  // want `channel receive without cancellation in context-aware function serve`
+	<-s.ch                  //fuselint:noctx the channel is always closed by the runner; the receive never blocks
+	//fuselint:noctx
+	s.ch <- 2 // want `//fuselint:noctx needs a reason`
+	select {  // a ctx.Done select guards its channel cases
+	case v := <-s.ch:
+		_ = v
+	case <-ctx.Done():
+	}
+}
+
+// handler must derive its context from the request, not manufacture one.
+func handler(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want `context.Background in an HTTP handler: derive the context from r.Context\(\)`
+	_ = RunContext(ctx)
+}
+
+// plain has no context parameter: the channel rules do not apply.
+func plain(s *Server) {
+	s.ch <- 3
+	<-s.ch
+}

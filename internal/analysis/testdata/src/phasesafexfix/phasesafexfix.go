@@ -1,0 +1,41 @@
+// Package phasesafexfix is the cross-package phasesafe fixture: a miniature
+// of the parallel engine whose worker-phase root reaches into a subpackage
+// (smlib, standing in for gpu/core/cache) directly and through an interface,
+// with seeded violations on both sides of the package boundary.
+package phasesafexfix
+
+import "fuse/internal/analysis/testdata/src/phasesafexfix/smlib"
+
+// Ticker is the in-repo interface the worker phase calls through; the walk
+// must resolve it to every loaded implementation.
+type Ticker interface {
+	Tick(now int64)
+}
+
+// engine mimics sim.Simulator: worker-shared slots plus serial-only state.
+type engine struct {
+	sms       []*smlib.SM
+	caches    []Ticker
+	chargedTo []int64
+
+	clock int64 //fuselint:serialonly
+}
+
+// advancePart is the worker-phase root: it crosses the package boundary into
+// smlib both directly (SM.Cycle) and through the Ticker interface.
+//
+//fuselint:workerphase
+func (e *engine) advancePart(i int, now int64) {
+	e.chargedTo[i] = now // worker-shared slot: legal
+	e.clock = now        // want `write to serial-only field engine.clock`
+	e.sms[i].Cycle(now)
+	e.caches[i].Tick(now)
+}
+
+// commit is NOT reachable from the worker phase: serial writes are legal.
+func (e *engine) commit(now int64) {
+	e.clock = now
+	for i := range e.chargedTo {
+		e.chargedTo[i] = 0
+	}
+}

@@ -1,0 +1,49 @@
+// Package smlib is the subpackage side of the phasesafexfix fixture: SM-like
+// types whose methods run inside the worker phase of the root package.
+package smlib
+
+import "time"
+
+// epochs counts advances globally — a seeded package-level-write violation.
+var epochs uint64
+
+// SM is the owned unit: receiver mutation is legal, but writes that traverse
+// into a peer instance are not.
+//
+//fuselint:smowned each SM is advanced by exactly one worker per epoch
+type SM struct {
+	cycles uint64
+	peer   *SM
+}
+
+// Cycle is reached from the root's worker phase via a direct method call.
+func (sm *SM) Cycle(now int64) {
+	sm.cycles++      // receiver of an smowned type: legal
+	sm.peer.cycles++ // want `writes through sm.peer into another SM instance`
+	epochs++         // want `write to package-level var epochs`
+	sm.drift(now)
+}
+
+// drift is reachable one hop deeper; the nondeterminism denylist applies
+// interprocedurally.
+func (sm *SM) drift(now int64) {
+	_ = time.Now() // want `time.Now reachable from worker-phase root advancePart`
+	sm.scrub(sm.peer, now)
+}
+
+// scrub writes through an *SM parameter that is not its receiver: that
+// instance belongs to some other worker.
+func (sm *SM) scrub(other *SM, now int64) {
+	other.cycles = uint64(now) // want `writes through SM-typed variable other`
+}
+
+// Cache implements the root package's Ticker interface; the walk must resolve
+// the interface call to this method even though no direct call names it.
+type Cache struct {
+	fills uint64
+}
+
+// Tick mutates its receiver but Cache is not annotated smowned.
+func (c *Cache) Tick(now int64) {
+	c.fills++ // want `method Tick of Cache mutates its receiver`
+}

@@ -1,0 +1,49 @@
+// Package statflowfix is the statflow analyzer fixture: a miniature
+// simulation core whose counters either flow to a reader, are annotated
+// internal, or leak — plus an instrument subpackage (stats) exercising the
+// Inc/Value method classification.
+package statflowfix
+
+import "fuse/internal/analysis/testdata/src/statflowfix/stats"
+
+// Core mimics a cache model's counter block.
+type Core struct {
+	hits   uint64
+	misses uint64
+	//fuselint:internalstat eviction volume is a debugging aid, not a figure input
+	evictions uint64
+	//fuselint:internalstat
+	stalls uint64 // want `//fuselint:internalstat needs a reason`
+
+	filterHits  stats.Counter
+	filterTests stats.Counter
+}
+
+// Access increments every counter; only some of them ever flow anywhere.
+func (c *Core) Access(hit bool) {
+	if hit {
+		c.hits++
+	}
+	c.misses++ // want `counter statflowfix.Core.misses is incremented in the simulation core but never read`
+	c.evictions++
+	c.stalls += 2
+	c.filterHits.Inc()
+	c.filterTests.Inc() // want `counter statflowfix.Core.filterTests is incremented in the simulation core but never read`
+}
+
+// Hits consumes c.hits: the counter flows to a reader.
+func (c *Core) Hits() uint64 { return c.hits }
+
+// FilterHitRate consumes the filterHits instrument via a non-increment
+// method; filterTests has no such reader.
+func (c *Core) FilterHitRate() float64 { return float64(c.filterHits.Value()) }
+
+// Reset overwrites every counter; plain writes neither produce nor consume.
+func (c *Core) Reset() {
+	c.hits = 0
+	c.misses = 0
+	c.evictions = 0
+	c.stalls = 0
+	c.filterHits.Reset()
+	c.filterTests.Reset()
+}

@@ -1,0 +1,18 @@
+// Package stats is the instrument subpackage of the statflowfix fixture: its
+// import path ends in /stats, so its fields are instrument internals (not
+// metrics) and its methods classify as increments (Inc) or reads (Value).
+package stats
+
+// Counter is a minimal instrument.
+type Counter struct {
+	n uint64
+}
+
+// Inc records one observation.
+func (c *Counter) Inc() { c.n++ }
+
+// Value reads the count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Reset clears the count.
+func (c *Counter) Reset() { c.n = 0 }

@@ -38,6 +38,8 @@ func (k ReplacementKind) String() string {
 
 // replacementState tracks per-set victim-selection state. It is sized for a
 // single set and embedded once per set in the tag store.
+//
+//fuselint:smowned embedded in TagStore, one tag store per SM-owned L1D
 type replacementState struct {
 	kind ReplacementKind
 	// order holds way indices from least to most recently used (LRU) or

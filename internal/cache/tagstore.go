@@ -27,6 +27,7 @@ type Line struct {
 	LastAccess  int64
 	// Reads and Writes count accesses to the line since allocation; they
 	// drive predictor training and the Figure 16 accuracy accounting.
+	//fuselint:internalstat consumed indirectly: predictor training reads the line's age/stats via Observe paths, not this raw count; kept per-line for diagnostics
 	Reads  uint64
 	Writes uint64
 }
@@ -43,6 +44,8 @@ const invalidTag = ^uint64(0)
 
 // TagStore is a set-associative tag array. A fully-associative store is
 // simply a TagStore with a single set.
+//
+//fuselint:smowned one tag store per SM-owned L1D, never shared across SMs
 type TagStore struct {
 	sets  int
 	ways  int

@@ -39,6 +39,8 @@ func mix64(x uint64) uint64 {
 
 // CountingBloomFilter is a single counting Bloom filter: k hash functions
 // over an array of small saturating counters.
+//
+//fuselint:smowned one filter per SM-owned L1D, tracking only that cache's lines
 type CountingBloomFilter struct {
 	counters   []uint8
 	hashes     int
@@ -49,7 +51,8 @@ type CountingBloomFilter struct {
 	// as true/false positives/negatives.
 	truth map[uint64]int
 
-	tests         stats.Counter
+	tests stats.Counter
+	//fuselint:internalstat only the false-positive and test counts reach FalsePositiveRate; raw positives stay a filter-local diagnostic
 	positives     stats.Counter
 	falsePositive stats.Counter
 	saturations   stats.Counter

@@ -10,14 +10,17 @@ import (
 // partitioned into regions, each guarded by a counting Bloom filter; a
 // membership test narrows the search to one region, which the polling logic
 // then scans with `comparators` parallel comparators per cycle.
+//
+//fuselint:smowned component of the SM-owned hybrid L1D
 type ApproxLogic struct {
 	filters     *cbf.NVMCBF
 	comparators int
 	regionTags  int
 
-	searches       uint64
-	searchCycles   uint64
-	falseSearches  uint64
+	searches      uint64
+	searchCycles  uint64
+	falseSearches uint64
+	//fuselint:internalstat negative-check volume is an approx-logic diagnostic; the figures consume searches/falseSearches instead
 	negativeChecks uint64
 }
 

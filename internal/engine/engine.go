@@ -134,6 +134,8 @@ var arenas = sync.Pool{New: func() any { return sim.NewArena() }}
 // is threaded into the simulator's cycle loop, so cancellation aborts
 // in-flight simulations, not just queued ones. The simulator is built on a
 // pooled arena and honours the job's SimWorkers count.
+//
+//fuselint:blocking runs a full simulation to completion
 func Execute(ctx context.Context, job Job) (sim.Result, error) {
 	w, err := trace.LookupWorkload(job.Workload)
 	if err != nil {
@@ -431,7 +433,7 @@ func (r *Runner) run(ctx context.Context, k Key, c *call, job Job, p *progressSt
 		r.finish(k, c, sim.Result{}, ctx.Err())
 		return
 	}
-	defer func() { <-r.sem }()
+	defer func() { <-r.sem }() //fuselint:noctx releasing a slot the select above acquired; the receive never blocks
 	res, err := r.exec(ctx, job)
 	if err == nil {
 		r.mu.Lock()
@@ -451,6 +453,8 @@ func (r *Runner) run(ctx context.Context, k Key, c *call, job Job, p *progressSt
 // *BatchError listing each failed job; results of failed jobs are zero.
 // Cancelling the context abandons jobs that have not started and fails the
 // batch with the context's error.
+//
+//fuselint:blocking waits for every simulation in the batch
 func (r *Runner) RunBatch(ctx context.Context, jobs []Job) ([]sim.Result, error) {
 	// Pass 1: resolve every job to its (possibly shared) call, claiming the
 	// keys this batch is first to ask for. Spawning waits until the batch's
@@ -493,7 +497,7 @@ func (r *Runner) RunBatch(ctx context.Context, jobs []Job) ([]sim.Result, error)
 			// Wait for the call anyway: its goroutine observes the same
 			// context and finishes promptly, and waiting keeps the
 			// completion accounting exact.
-			<-c.done
+			<-c.done //fuselint:noctx the runner always closes done; the bounded wait keeps completion accounting exact
 		}
 		results[i] = c.res
 		if c.err != nil {
@@ -507,6 +511,8 @@ func (r *Runner) RunBatch(ctx context.Context, jobs []Job) ([]sim.Result, error)
 }
 
 // Get executes (or fetches the cached result of) a single job.
+//
+//fuselint:blocking waits for the job's simulation
 func (r *Runner) Get(ctx context.Context, job Job) (sim.Result, error) {
 	res, err := r.RunBatch(ctx, []Job{job})
 	if err != nil {

@@ -13,11 +13,14 @@ type SMStats struct {
 	// Issued is the number of instructions issued.
 	Issued uint64
 	// MemInstructions is the number of memory instructions issued.
+	//fuselint:internalstat exposed for workload sanity checks in tests; the figures use L1D.Accesses for memory volume
 	MemInstructions uint64
 	// L1DStallCycles counts cycles wasted because the L1D rejected the
 	// memory instruction at the head of the selected warp.
+	//fuselint:internalstat structural-stall cycles are reported via core.Stats.StructuralStalls; this per-SM mirror is a debugging aid
 	L1DStallCycles uint64
 	// NoReadyWarpCycles counts cycles in which no warp could issue.
+	//fuselint:internalstat the figures consume the MemWaitCycles subset (Figure 1); the full no-ready count is a scheduler diagnostic
 	NoReadyWarpCycles uint64
 	// MemWaitCycles counts the no-ready-warp cycles in which at least one
 	// warp was blocked on an outstanding off-chip fill; this is the
@@ -35,6 +38,8 @@ func (s *SMStats) IPC() float64 {
 
 // SM is one streaming multiprocessor: a set of resident warps, a shared
 // instruction stream (any trace.Source), and a private L1D cache.
+//
+//fuselint:smowned the unit of worker-phase ownership: each SM is advanced by exactly one worker per epoch
 type SM struct {
 	// ID is the SM index within the GPU.
 	ID int

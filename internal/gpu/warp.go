@@ -41,6 +41,8 @@ func (s WarpState) String() string {
 }
 
 // Warp is one 32-thread SIMT group resident on an SM.
+//
+//fuselint:smowned warps live in exactly one SM's warp table
 type Warp struct {
 	// ID is the warp index within its SM.
 	ID int

@@ -64,7 +64,8 @@ func (c Config) withDefaults() Config {
 type link struct {
 	nextFree int64
 	busyCyc  uint64
-	packets  uint64
+	//fuselint:internalstat per-link packet counts back the busy-cycle model; Network.Packets() reports the aggregate the figures use
+	packets uint64
 }
 
 // Network is the butterfly interconnect.

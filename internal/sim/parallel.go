@@ -265,9 +265,16 @@ func (s *Simulator) runEpoch(t0, rtMin, zllResp int64, work chan epochTask) bool
 // requests of each cycle are logged with their drain cycle.
 //
 // This is the parallel engine's worker-phase root: it runs concurrently on
-// worker goroutines, so it and everything it calls may touch only the
-// participant's own state (its SM, its chargedTo slot, its epochPart) —
-// never the //fuselint:serialonly fields (enforced by fuselint/phasesafe).
+// worker goroutines, so it and everything it calls — across every package it
+// reaches (gpu, core, cache, cbf, memtech, predictor, trace) and through
+// every interface (trace.Source, core.L1D, …) — may touch only the
+// participant's own state: its SM, its chargedTo slot, its epochPart, and
+// the //fuselint:smowned types each SM exclusively owns for the epoch. The
+// //fuselint:serialonly fields, package-level variables and peer SMs' state
+// are off limits. fuselint's phasesafe analyzer checks this whole-program:
+// it walks the cross-package call graph from this root (resolving interface
+// calls to every in-repo implementation) and rejects any reachable
+// violation, so the guarantee is verified, not assumed.
 //
 //fuselint:workerphase
 //fuselint:noalloc

@@ -29,11 +29,15 @@
 // slabs instead of re-allocating them per run.
 //
 // The package's invariants — determinism, store-key completeness of Options,
-// the allocation-free hot path, and the worker/serial phase split of the
-// parallel engine — are machine-checked by fuselint (go run ./cmd/fuselint
-// ./...) via //fuselint: annotations on the relevant declarations; the
-// directives are documented in the repository README under "Invariants &
-// annotations".
+// the allocation-free hot path, the worker/serial phase split of the
+// parallel engine (checked whole-program: phasesafe walks the cross-package
+// call graph from advancePart through gpu, core, cache and the in-repo
+// interfaces, so the split is verified everywhere the worker phase reaches,
+// not just in this package), and the conservation of every hot-path counter
+// into Result or a figure table (statflow) — are machine-checked by fuselint
+// (go run ./cmd/fuselint ./...) via //fuselint: annotations on the relevant
+// declarations; the directives are documented in the repository README under
+// "Invariants & annotations".
 package sim
 
 import (

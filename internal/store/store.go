@@ -212,6 +212,8 @@ func (d *Disk) path(key string) string {
 }
 
 // Get implements Cache. Unreadable or corrupt entries are misses.
+//
+//fuselint:blocking reads the entry from disk
 func (d *Disk) Get(key string) (sim.Result, bool) {
 	if !ValidKey(key) {
 		return sim.Result{}, false
@@ -235,6 +237,8 @@ func (d *Disk) Put(key string, res sim.Result) { _ = d.Write(key, res) }
 // temporary file in the destination directory and renamed into place, so
 // concurrent writers and crashed processes can never leave a torn entry
 // behind — only a complete one or none.
+//
+//fuselint:blocking writes and renames the entry on disk
 func (d *Disk) Write(key string, res sim.Result) error {
 	if !ValidKey(key) {
 		return fmt.Errorf("store: invalid key %q", key)
