@@ -30,13 +30,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"fuse/internal/dram"
@@ -48,14 +52,18 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		scaleName = flag.String("scale", "bench", "simulation scale: quick, bench or full")
-		storeDir  = flag.String("store", "", "persistent result-store directory shared with fusesim/fusetables (empty = memory only)")
-		parallel  = flag.Int("parallel", 0, "number of concurrent simulations (0 = GOMAXPROCS)")
-		simCap    = flag.Int("simworkers", runtime.GOMAXPROCS(0), "cap on the per-simulation worker goroutines a batch may request (0 = always sequential)")
-		timeout   = flag.Duration("timeout", 0, "per-request timeout (0 = no limit)")
-		backend   = flag.String("backend", "", "default memory backend for batch jobs and figures (GDDR5, GDDR5X, HBM2, STT-MRAM; empty = each GPU model's default)")
-		workFile  = flag.String("workloads", "", "workload file (JSON) of custom profiles and phased workloads to register at startup")
+		addr        = flag.String("addr", ":8080", "listen address")
+		scaleName   = flag.String("scale", "bench", "simulation scale: quick, bench or full")
+		storeDir    = flag.String("store", "", "persistent result-store directory shared with fusesim/fusetables (empty = memory only)")
+		parallel    = flag.Int("parallel", 0, "number of concurrent simulations (0 = GOMAXPROCS)")
+		simCap      = flag.Int("simworkers", runtime.GOMAXPROCS(0), "cap on the per-simulation worker goroutines a batch may request (0 = always sequential)")
+		timeout     = flag.Duration("timeout", 0, "per-request timeout (0 = no limit)")
+		backend     = flag.String("backend", "", "default memory backend for batch jobs and figures (GDDR5, GDDR5X, HBM2, STT-MRAM; empty = each GPU model's default)")
+		workFile    = flag.String("workloads", "", "workload file (JSON) of custom profiles and phased workloads to register at startup")
+		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline for in-flight requests on SIGINT/SIGTERM")
+		maxInflight = flag.Int("maxinflight", 64, "max concurrent simulation-bearing requests before 503 + Retry-After (0 = unlimited)")
+		memCap      = flag.Int("memcap", 65536, "memory cache-tier entry bound with LRU eviction (0 = unbounded)")
+		retries     = flag.Int("retries", 1, "per-job retries on transient execution failures (0 = none)")
 	)
 	flag.Parse()
 
@@ -88,22 +96,33 @@ func main() {
 		os.Exit(1)
 	}
 
-	// The memory tier serves repeat requests within this process; the disk
-	// tier (when configured) makes results outlive it and shares them with
-	// the CLI tools.
-	tiers := []store.Cache{store.NewMemory()}
+	// The memory tier (LRU-bounded) serves repeat requests within this
+	// process; the disk tier (when configured) makes results outlive it and
+	// shares them with the CLI tools. A failed disk open degrades to
+	// memory-only with a warning: a serving process with a broken store
+	// directory still serves.
+	tiers := []store.Cache{store.NewMemoryLRU(*memCap)}
 	if *storeDir != "" {
 		disk, err := store.Open(*storeDir)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "fuseserve: %v\n", err)
-			os.Exit(1)
+			log.Printf("fuseserve: warning: %v; continuing with the in-memory cache only", err)
+		} else {
+			tiers = append(tiers, disk)
 		}
-		tiers = append(tiers, disk)
 	}
 	cache := store.NewTiered(tiers...)
 
-	runner := engine.New(engine.Config{Workers: *parallel, Cache: cache})
-	handler := newServer(scale, runner, cache, *timeout, *backend, *simCap)
+	runner := engine.New(engine.Config{Workers: *parallel, Cache: cache, Retries: *retries})
+	app := newServer(serverConfig{
+		scale:       scale,
+		runner:      runner,
+		results:     cache,
+		health:      cache,
+		timeout:     *timeout,
+		backend:     *backend,
+		simWorkers:  *simCap,
+		maxInflight: *maxInflight,
+	})
 
 	if *storeDir != "" {
 		log.Printf("fuseserve: store %s, scale %s, %d workers, listening on %s",
@@ -114,14 +133,40 @@ func main() {
 	}
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: handler,
+		Handler: app,
 		// Transport-level guards: the per-request -timeout only bounds the
 		// simulation work after a request is parsed, so slow-sending and
 		// idle clients are bounded here instead of pinning goroutines.
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	if err := srv.ListenAndServe(); err != nil {
+
+	// SIGINT/SIGTERM starts a graceful drain: the listener closes, new
+	// simulation requests are refused (503 via the draining flag), in-flight
+	// ones get the drain deadline to finish, and a clean drain exits 0.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-serveErr:
+		// The listener failed before any signal (port in use, bad address).
 		log.Fatalf("fuseserve: %v", err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("fuseserve: shutdown signal received, draining (deadline %s)", *drain)
+		app.beginDrain()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("fuseserve: drain deadline exceeded: %v", err)
+			os.Exit(1)
+		}
+		if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("fuseserve: %v", err)
+		}
+		log.Printf("fuseserve: drained cleanly, exiting")
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"fuse/internal/config"
@@ -43,29 +44,155 @@ type server struct {
 	// they ask for). The Runner's own oversubscription clamp applies on
 	// top, so pool × per-simulation workers never exceeds the core budget.
 	simWorkers int
+	// maxInflight bounds the simulation-bearing requests (batches and
+	// figures) admitted at once; excess requests get 503 + Retry-After
+	// instead of queueing without bound. 0 = unlimited.
+	maxInflight int
+	// health reports cache-tier health on /healthz (nil = no tiers wired).
+	health *store.Tiered
+
+	mux      *http.ServeMux
+	inflight atomic.Int64 // admitted simulation-bearing requests
+	draining atomic.Bool  // set once shutdown begins; new work is refused
+	panics   atomic.Int64 // handler panics converted to 500s
 }
 
-// newServer wires the API routes. results is the cache consulted by
-// GET /v1/result (usually the same tiered cache the Runner writes through).
-// simWorkers is the server-wide cap on the per-simulation worker goroutines
-// a batch may request.
-func newServer(scale experiments.Scale, runner *engine.Runner, results store.Cache, timeout time.Duration, backend string, simWorkers int) http.Handler {
-	matrix := experiments.NewMatrixRunner(scale, runner)
-	matrix.SetBackend(backend)
+// serverConfig wires a server: the experiment scale, the shared Runner, the
+// cache consulted by GET /v1/result (usually the same tiered cache the
+// Runner writes through, also passed as health for /healthz), and the
+// serving limits.
+type serverConfig struct {
+	scale       experiments.Scale
+	runner      *engine.Runner
+	results     store.Cache
+	health      *store.Tiered
+	timeout     time.Duration
+	backend     string
+	simWorkers  int
+	maxInflight int
+}
+
+// newServer wires the API routes behind the panic-recovery middleware.
+func newServer(cfg serverConfig) *server {
+	matrix := experiments.NewMatrixRunner(cfg.scale, cfg.runner)
+	matrix.SetBackend(cfg.backend)
 	s := &server{
-		matrix:     matrix,
-		runner:     runner,
-		results:    results,
-		timeout:    timeout,
-		backend:    backend,
-		simWorkers: simWorkers,
+		matrix:      matrix,
+		runner:      cfg.runner,
+		results:     cfg.results,
+		timeout:     cfg.timeout,
+		backend:     cfg.backend,
+		simWorkers:  cfg.simWorkers,
+		maxInflight: cfg.maxInflight,
+		health:      cfg.health,
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/result/{key}", s.handleResult)
 	mux.HandleFunc("GET /v1/figures/{fig}", s.handleFigure)
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
-	return mux
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP dispatches through the panic-recovery middleware: a panic that
+// escapes a handler (the engine already contains simulation panics) becomes
+// a structured 500 instead of a torn connection, and is counted.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if v := recover(); v != nil {
+			s.panics.Add(1)
+			httpError(w, http.StatusInternalServerError, "internal error: %v", v)
+		}
+	}()
+	s.mux.ServeHTTP(w, r)
+}
+
+// beginDrain flips the server into draining mode: health turns not-ready and
+// new simulation-bearing requests are refused, while admitted ones run to
+// completion under http.Server.Shutdown.
+func (s *server) beginDrain() { s.draining.Store(true) }
+
+// admit gates a simulation-bearing request: draining and over-capacity
+// requests are refused with 503 + Retry-After so clients back off instead of
+// queueing. The caller must defer release() when admitted.
+func (s *server) admit(w http.ResponseWriter) (release func(), ok bool) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return nil, false
+	}
+	if n := s.inflight.Add(1); s.maxInflight > 0 && n > int64(s.maxInflight) {
+		s.inflight.Add(-1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable,
+			"at capacity (%d simulation requests in flight)", s.maxInflight)
+		return nil, false
+	}
+	return func() { s.inflight.Add(-1) }, true
+}
+
+// healthResponse is the body of GET /healthz and GET /readyz.
+type healthResponse struct {
+	// Status is "ok", "degraded" (a store tier tripped its degraded flag)
+	// or "draining" (shutdown in progress).
+	Status   string `json:"status"`
+	Draining bool   `json:"draining"`
+	InFlight int64  `json:"inFlight"`
+	// Runner counters (process-lifetime totals).
+	Completed int `json:"completed"`
+	Executed  int `json:"executed"`
+	StoreHits int `json:"storeHits"`
+	Retried   int `json:"retried"`
+	Panics    int `json:"panics"`
+	// HandlerPanics counts panics the HTTP middleware converted to 500s.
+	HandlerPanics int64 `json:"handlerPanics"`
+	// Store is the per-tier health of the result cache, fastest first.
+	Store []store.Health `json:"store,omitempty"`
+}
+
+// snapshotHealth assembles the shared health body.
+func (s *server) snapshotHealth() healthResponse {
+	h := healthResponse{
+		Status:        "ok",
+		Draining:      s.draining.Load(),
+		InFlight:      s.inflight.Load(),
+		Completed:     s.runner.Completed(),
+		Executed:      s.runner.Executed(),
+		StoreHits:     s.runner.StoreHits(),
+		Retried:       s.runner.Retried(),
+		Panics:        s.runner.Panics(),
+		HandlerPanics: s.panics.Load(),
+	}
+	if s.health != nil {
+		h.Store = s.health.Health()
+		if s.health.Degraded() {
+			h.Status = "degraded"
+		}
+	}
+	if h.Draining {
+		h.Status = "draining"
+	}
+	return h
+}
+
+// handleHealthz reports liveness: always 200 while the process serves, with
+// the degraded/draining detail in the body for operators and dashboards.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.snapshotHealth())
+}
+
+// handleReadyz reports readiness for load balancers: 503 while draining or
+// while the store is degraded, 200 otherwise, same body as /healthz.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	h := s.snapshotHealth()
+	status := http.StatusOK
+	if h.Status != "ok" {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
 }
 
 // workloadInfo is one entry of the GET /v1/workloads listing.
@@ -169,13 +296,20 @@ type batchResult struct {
 // batchResponse is the body of a POST /v1/batch response.
 type batchResponse struct {
 	Results []batchResult `json:"results"`
-	// Executed and StoreHits snapshot the Runner counters after the batch
-	// (process-lifetime totals, not per-batch deltas).
+	// Executed, StoreHits, Retried and Panics snapshot the Runner counters
+	// after the batch (process-lifetime totals, not per-batch deltas).
 	Executed  int `json:"executed"`
 	StoreHits int `json:"storeHits"`
+	Retried   int `json:"retried"`
+	Panics    int `json:"panics"`
 }
 
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
 	var req batchRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -269,6 +403,8 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		Results:   make([]batchResult, len(jobs)),
 		Executed:  s.runner.Executed(),
 		StoreHits: s.runner.StoreHits(),
+		Retried:   s.runner.Retried(),
+		Panics:    s.runner.Panics(),
 	}
 	for i := range jobs {
 		entry := batchResult{Kind: req.Jobs[i].Kind, Workload: req.Jobs[i].Workload}
@@ -314,6 +450,11 @@ var figureExperiments = map[string]string{
 }
 
 func (s *server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
 	fig := r.PathValue("fig")
 	name, ok := figureExperiments[fig]
 	if !ok {

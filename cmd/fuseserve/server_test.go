@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -35,7 +36,10 @@ func newTestServer(t *testing.T, dir string, execs *atomic.Int32) *httptest.Serv
 			return engine.Execute(ctx, job)
 		},
 	})
-	ts := httptest.NewServer(newServer(experiments.QuickScale, runner, cache, time.Minute, "", 8))
+	ts := httptest.NewServer(newServer(serverConfig{
+		scale: experiments.QuickScale, runner: runner, results: cache,
+		health: cache, timeout: time.Minute, simWorkers: 8,
+	}))
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -272,7 +276,10 @@ func TestPerRequestTimeout(t *testing.T) {
 			return sim.Result{}, ctx.Err()
 		},
 	})
-	ts := httptest.NewServer(newServer(experiments.QuickScale, runner, cache, 50*time.Millisecond, "", 8))
+	ts := httptest.NewServer(newServer(serverConfig{
+		scale: experiments.QuickScale, runner: runner, results: cache,
+		health: cache, timeout: 50 * time.Millisecond, simWorkers: 8,
+	}))
 	defer ts.Close()
 
 	resp, _ := postBatch(t, ts, `{"jobs":[{"kind":"Dy-FUSE","workload":"ATAX"}]}`)
@@ -445,7 +452,10 @@ func TestBatchSimWorkersClampedAndDeterministic(t *testing.T) {
 			return engine.Execute(ctx, job)
 		},
 	})
-	ts := httptest.NewServer(newServer(experiments.QuickScale, runner, cache, time.Minute, "", 2))
+	ts := httptest.NewServer(newServer(serverConfig{
+		scale: experiments.QuickScale, runner: runner, results: cache,
+		health: cache, timeout: time.Minute, simWorkers: 2,
+	}))
 	t.Cleanup(ts.Close)
 
 	// Request far more sim workers than the server cap of 2.
@@ -476,5 +486,231 @@ func TestBatchSimWorkersClampedAndDeterministic(t *testing.T) {
 	}
 	if *br.Results[0].Result != parallel {
 		t.Errorf("parallel and sequential batch results differ")
+	}
+}
+
+// getJSON fetches a URL and decodes its JSON body into v.
+func getJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		if err := json.Unmarshal(data, v); err != nil {
+			t.Fatalf("decoding %s: %v\n%s", url, err, data)
+		}
+	}
+	return resp
+}
+
+func TestHealthzAndReadyzHealthy(t *testing.T) {
+	var execs atomic.Int32
+	ts := newTestServer(t, t.TempDir(), &execs)
+
+	var h healthResponse
+	if resp := getJSON(t, ts.URL+"/healthz", &h); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status = %d, want 200", resp.StatusCode)
+	}
+	if h.Status != "ok" || h.Draining || h.InFlight != 0 {
+		t.Errorf("healthy server reported %+v", h)
+	}
+	if len(h.Store) != 2 || h.Store[0].Tier != "memory" || h.Store[1].Tier != "disk" {
+		t.Errorf("store tiers = %+v, want [memory disk]", h.Store)
+	}
+	if resp := getJSON(t, ts.URL+"/readyz", nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("/readyz status = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestReadyzReportsDegradedDiskTier(t *testing.T) {
+	dir := t.TempDir()
+	var execs atomic.Int32
+	ts := newTestServer(t, dir, &execs)
+
+	// Plant a directory at a valid key's entry path: every read of that key
+	// fails with a non-ENOENT error, and DegradedThreshold consecutive
+	// failures trip the disk tier.
+	disk, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := strings.Repeat("ab", 32)
+	if err := os.MkdirAll(disk.EntryPath(key), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < store.DegradedThreshold; i++ {
+		if resp := getJSON(t, ts.URL+"/v1/result/"+key, nil); resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("unreadable entry should read as a miss, got %d", resp.StatusCode)
+		}
+	}
+
+	var h healthResponse
+	if resp := getJSON(t, ts.URL+"/healthz", &h); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz must stay 200 while degraded, got %d", resp.StatusCode)
+	}
+	if h.Status != "degraded" {
+		t.Errorf("healthz status = %q, want degraded: %+v", h.Status, h)
+	}
+	if resp := getJSON(t, ts.URL+"/readyz", nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/readyz status = %d, want 503 while the disk tier is tripped", resp.StatusCode)
+	}
+
+	// A successful store write recovers the tier and readiness.
+	if resp := getJSON(t, ts.URL+"/v1/figures/13?workloads=ATAX", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("figure request failed: %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/readyz", &h); resp.StatusCode != http.StatusOK {
+		t.Errorf("/readyz should recover after successful I/O, got %d (%+v)", resp.StatusCode, h)
+	}
+}
+
+func TestAdmissionControlBoundsInflightBatches(t *testing.T) {
+	// A stalling executor holds the first batch in flight; with maxInflight
+	// 1, the second must be refused with 503 + Retry-After.
+	gate := make(chan struct{})
+	cache := store.NewTiered(store.NewMemory())
+	runner := engine.New(engine.Config{
+		Cache: cache,
+		Exec: func(ctx context.Context, job engine.Job) (sim.Result, error) {
+			select {
+			case <-gate:
+			case <-ctx.Done():
+				return sim.Result{}, ctx.Err()
+			}
+			return sim.Result{Workload: job.Workload}, nil
+		},
+	})
+	ts := httptest.NewServer(newServer(serverConfig{
+		scale: experiments.QuickScale, runner: runner, results: cache,
+		timeout: time.Minute, simWorkers: 1, maxInflight: 1,
+	}))
+	defer ts.Close()
+	var releaseOnce sync.Once
+	release := func() { releaseOnce.Do(func() { close(gate) }) }
+	defer release()
+
+	first := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/batch", "application/json",
+			strings.NewReader(`{"jobs":[{"kind":"Dy-FUSE","workload":"ATAX"}]}`))
+		if err != nil {
+			first <- 0
+			return
+		}
+		resp.Body.Close()
+		first <- resp.StatusCode
+	}()
+
+	// Wait until the first batch is admitted.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var h healthResponse
+		getJSON(t, ts.URL+"/healthz", &h)
+		if h.InFlight >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first batch never went in flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/json",
+		strings.NewReader(`{"jobs":[{"kind":"Dy-FUSE","workload":"GEMM"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("over-capacity batch status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Errorf("503 must carry a Retry-After header")
+	}
+
+	// Releasing the gate lets the admitted batch finish normally.
+	release()
+	if code := <-first; code != http.StatusOK {
+		t.Errorf("admitted batch status = %d, want 200", code)
+	}
+}
+
+func TestDrainingRefusesNewWork(t *testing.T) {
+	cache := store.NewTiered(store.NewMemory())
+	runner := engine.New(engine.Config{Cache: cache})
+	app := newServer(serverConfig{
+		scale: experiments.QuickScale, runner: runner, results: cache,
+		health: store.NewTiered(store.NewMemory()), timeout: time.Minute, simWorkers: 1,
+	})
+	ts := httptest.NewServer(app)
+	defer ts.Close()
+
+	app.beginDrain()
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/json",
+		strings.NewReader(`{"jobs":[{"kind":"Dy-FUSE","workload":"ATAX"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining batch status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Errorf("draining 503 must carry Retry-After")
+	}
+	var h healthResponse
+	if r := getJSON(t, ts.URL+"/readyz", &h); r.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/readyz while draining = %d, want 503", r.StatusCode)
+	}
+	if h.Status != "draining" {
+		t.Errorf("readyz status = %q, want draining", h.Status)
+	}
+	// Liveness and result reads stay available during the drain.
+	if r := getJSON(t, ts.URL+"/healthz", nil); r.StatusCode != http.StatusOK {
+		t.Errorf("/healthz while draining = %d, want 200", r.StatusCode)
+	}
+}
+
+func TestPanicMiddlewareReturnsStructured500(t *testing.T) {
+	cache := store.NewTiered(store.NewMemory())
+	runner := engine.New(engine.Config{Cache: cache})
+	app := newServer(serverConfig{
+		scale: experiments.QuickScale, runner: runner, results: cache,
+		timeout: time.Minute, simWorkers: 1,
+	})
+	// Route a deliberately panicking handler through the middleware.
+	app.mux.HandleFunc("GET /boom", func(w http.ResponseWriter, r *http.Request) {
+		panic("handler exploded")
+	})
+	ts := httptest.NewServer(app)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	var e map[string]string
+	if err := json.Unmarshal(body, &e); err != nil || !strings.Contains(e["error"], "handler exploded") {
+		t.Errorf("want a structured JSON error, got %s", body)
+	}
+	// The server survived and reports the panic.
+	var h healthResponse
+	getJSON(t, ts.URL+"/healthz", &h)
+	if h.HandlerPanics != 1 {
+		t.Errorf("HandlerPanics = %d, want 1", h.HandlerPanics)
+	}
+	if r := getJSON(t, ts.URL+"/v1/workloads", nil); r.StatusCode != http.StatusOK {
+		t.Errorf("server unusable after a handler panic: %d", r.StatusCode)
 	}
 }

@@ -203,9 +203,11 @@ func main() {
 	}
 	cfg := engine.Config{Workers: *parallel, SimWorkers: *simWorkers}
 	if *storeDir != "" {
-		cache, err := store.OpenTiered(*storeDir)
-		if err != nil {
-			fatalf("%v", err)
+		// An unopenable store directory degrades to a memory-only cache with
+		// a warning: the run still completes, it just cannot persist.
+		cache, warn := store.OpenTieredResilient(*storeDir)
+		if warn != nil {
+			fmt.Fprintf(os.Stderr, "fusesim: warning: %v; continuing without the persistent store\n", warn)
 		}
 		cfg.Cache = cache
 	}

@@ -110,10 +110,11 @@ func main() {
 
 	cfg := engine.Config{Workers: *parallel}
 	if *storeDir != "" {
-		cache, err := store.OpenTiered(*storeDir)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "fusetables: %v\n", err)
-			os.Exit(1)
+		// An unopenable store directory degrades to a memory-only cache with
+		// a warning: the tables still render, they just cannot persist.
+		cache, warn := store.OpenTieredResilient(*storeDir)
+		if warn != nil {
+			fmt.Fprintf(os.Stderr, "fusetables: warning: %v; continuing without the persistent store\n", warn)
 		}
 		cfg.Cache = cache
 	}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestUnopenableStoreDegradesToMemoryOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the CLI binary")
+	}
+	bin := filepath.Join(t.TempDir(), "fusetables")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	// A file as the store path's parent makes the disk tier unopenable even
+	// when running as root (MkdirAll fails with ENOTDIR).
+	blocker := filepath.Join(t.TempDir(), "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin,
+		"-exp", "fig13", "-scale", "quick", "-workloads", "ATAX",
+		"-store", filepath.Join(blocker, "store"))
+	var stdout, stderr strings.Builder
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("run failed (should degrade, not abort): %v\nstderr: %s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "warning") {
+		t.Errorf("expected a degradation warning on stderr, got: %s", stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "ATAX") {
+		t.Errorf("figure table missing from stdout: %s", stdout.String())
+	}
+}

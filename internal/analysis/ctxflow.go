@@ -8,11 +8,12 @@ import (
 )
 
 // Ctxflow pins cancellation discipline in the serving layer (engine, store,
-// cmd/fuseserve) — the packages the ROADMAP's distributed fleet and
+// fault, cmd/fuseserve) — the packages the ROADMAP's distributed fleet and
 // autotuner-as-a-service put under real concurrent traffic. A context that
-// stops flowing is a request that cannot be cancelled. Four rules, applied
-// to every function that receives a context.Context (closures inherit the
-// enclosing function's context-awareness):
+// stops flowing is a request that cannot be cancelled. Rules 1–4 apply to
+// every function that receives a context.Context (closures inherit the
+// enclosing function's context-awareness); rule 5 applies to functions that
+// do not:
 //
 //  1. A call to a function with a `<Name>Context` sibling that accepts a
 //     context must use the sibling (sim.Run where RunContext exists).
@@ -23,9 +24,13 @@ import (
 //     always-closed channel).
 //  4. HTTP handlers (any function taking *http.Request) must derive their
 //     context from r.Context(), never context.Background()/TODO().
+//  5. A timed wait inside a loop — time.Sleep, or a receive of a time.Time
+//     channel (timer/ticker) outside a ctx.Done() select — in a function
+//     with no context parameter is an uncancellable backoff/polling loop:
+//     thread a context through, or annotate //fuselint:noctx <reason>.
 var Ctxflow = &Analyzer{
 	Name: "ctxflow",
-	Doc:  "requires context threading (Context-sibling calls, no bare sleeps or channel ops) in engine, store and fuseserve",
+	Doc:  "requires context threading (Context-sibling calls, no bare sleeps, channel ops or retry loops) in engine, store, fault and fuseserve",
 	Run:  runCtxflow,
 }
 
@@ -34,6 +39,7 @@ var Ctxflow = &Analyzer{
 func ctxflowScope(path string) bool {
 	return strings.Contains(path, "internal/engine") ||
 		strings.Contains(path, "internal/store") ||
+		strings.Contains(path, "internal/fault") ||
 		strings.Contains(path, "cmd/fuseserve") ||
 		strings.Contains(path, "testdata")
 }
@@ -49,6 +55,7 @@ func runCtxflow(pass *Pass) error {
 				continue
 			}
 			checkCtxFunc(pass, f, fd)
+			checkTimedLoops(pass, f, fd)
 		}
 	}
 	return nil
@@ -113,8 +120,122 @@ func checkCtxFunc(pass *Pass, f *ast.File, fd *ast.FuncDecl) {
 	// guarded collects every node inside the comm statement of a select
 	// clause whose select also has a ctx.Done() case: channel operations
 	// there are cancellation-aware by construction.
-	guarded := make(map[ast.Node]bool)
+	guarded := selectGuardedNodes(info, fd.Body)
+
+	// escaped reports (and enforces the mandatory reason of) a
+	// //fuselint:noctx directive on the offending line.
+	escaped := func(n ast.Node) bool {
+		line := fset.Position(n.Pos()).Line
+		d, ok := pass.Pkg.directiveAt(fset, f, line, "noctx")
+		if !ok {
+			return false
+		}
+		if d.Args == "" {
+			pass.Reportf(n.Pos(), "//fuselint:noctx needs a reason (why must this stay context-free?)")
+		}
+		return true
+	}
+
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCtxCall(pass, f, n, hasCtx, isHandler, escaped)
+		case *ast.SendStmt:
+			if hasCtx && !guarded[n] && !escaped(n) {
+				pass.Reportf(n.Pos(), "channel send without cancellation in context-aware function %s: select on ctx.Done() too, or annotate //fuselint:noctx <reason>", fd.Name.Name)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && hasCtx && !guarded[n] && !escaped(n) {
+				pass.Reportf(n.Pos(), "channel receive without cancellation in context-aware function %s: select on ctx.Done() too, or annotate //fuselint:noctx <reason>", fd.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// checkTimedLoops applies rule 5: in a function with no context parameter, a
+// time.Sleep call or a timer-channel receive inside a for/range loop is an
+// uncancellable backoff or polling loop. Context-aware functions are exempt —
+// rules 2 and 3 already govern every wait they contain.
+func checkTimedLoops(pass *Pass, f *ast.File, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	fset := pass.Prog.Fset
+
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			if tv, ok := info.Types[field.Type]; ok && isCtxType(tv.Type) {
+				return
+			}
+		}
+	}
+
+	// A wait already inside a select with a ctx.Done() case (a context
+	// reaching the function some other way: a field, a captured variable)
+	// is cancellation-aware and exempt.
+	guarded := selectGuardedNodes(info, fd.Body)
+
+	escaped := func(n ast.Node) bool {
+		line := fset.Position(n.Pos()).Line
+		d, ok := pass.Pkg.directiveAt(fset, f, line, "noctx")
+		if !ok {
+			return false
+		}
+		if d.Args == "" {
+			pass.Reportf(n.Pos(), "//fuselint:noctx needs a reason (why must this stay context-free?)")
+		}
+		return true
+	}
+
+	// Collect offending waits into a set first: nested loops would otherwise
+	// visit (and report) the same node once per enclosing loop.
+	seen := make(map[ast.Node]bool)
+	var offending []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch l := n.(type) {
+		case *ast.ForStmt:
+			body = l.Body
+		case *ast.RangeStmt:
+			body = l.Body
+		default:
+			return true
+		}
+		ast.Inspect(body, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.CallExpr:
+				if fun, ok := ast.Unparen(m.Fun).(*ast.SelectorExpr); ok {
+					if callee, ok := info.Uses[fun.Sel].(*types.Func); ok &&
+						callee.Pkg() != nil && callee.Pkg().Path() == "time" && callee.Name() == "Sleep" {
+						if !seen[m] {
+							seen[m] = true
+							offending = append(offending, m)
+						}
+					}
+				}
+			case *ast.UnaryExpr:
+				if m.Op == token.ARROW && !guarded[m] && isTimeChanRecv(info, m) {
+					if !seen[m] {
+						seen[m] = true
+						offending = append(offending, m)
+					}
+				}
+			}
+			return true
+		})
+		return true
+	})
+	for _, n := range offending {
+		if !escaped(n) {
+			pass.Reportf(n.Pos(), "timed wait in a loop in context-free function %s: an uncancellable backoff/polling loop — thread a context and select on ctx.Done(), or annotate //fuselint:noctx <reason>", fd.Name.Name)
+		}
+	}
+}
+
+// selectGuardedNodes collects every node inside the comm statement of a
+// select clause whose select also has a ctx.Done() case.
+func selectGuardedNodes(info *types.Info, body *ast.BlockStmt) map[ast.Node]bool {
+	guarded := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
 		sel, ok := n.(*ast.SelectStmt)
 		if !ok {
 			return true
@@ -149,36 +270,25 @@ func checkCtxFunc(pass *Pass, f *ast.File, fd *ast.FuncDecl) {
 		}
 		return true
 	})
+	return guarded
+}
 
-	// escaped reports (and enforces the mandatory reason of) a
-	// //fuselint:noctx directive on the offending line.
-	escaped := func(n ast.Node) bool {
-		line := fset.Position(n.Pos()).Line
-		d, ok := pass.Pkg.directiveAt(fset, f, line, "noctx")
-		if !ok {
-			return false
-		}
-		if d.Args == "" {
-			pass.Reportf(n.Pos(), "//fuselint:noctx needs a reason (why must this stay context-free?)")
-		}
-		return true
+// isTimeChanRecv reports whether the receive reads from a time.Time channel
+// (time.Timer.C, time.Ticker.C, time.After).
+func isTimeChanRecv(info *types.Info, recv *ast.UnaryExpr) bool {
+	tv, ok := info.Types[recv.X]
+	if !ok {
+		return false
 	}
-
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.CallExpr:
-			checkCtxCall(pass, f, n, hasCtx, isHandler, escaped)
-		case *ast.SendStmt:
-			if hasCtx && !guarded[n] && !escaped(n) {
-				pass.Reportf(n.Pos(), "channel send without cancellation in context-aware function %s: select on ctx.Done() too, or annotate //fuselint:noctx <reason>", fd.Name.Name)
-			}
-		case *ast.UnaryExpr:
-			if n.Op == token.ARROW && hasCtx && !guarded[n] && !escaped(n) {
-				pass.Reportf(n.Pos(), "channel receive without cancellation in context-aware function %s: select on ctx.Done() too, or annotate //fuselint:noctx <reason>", fd.Name.Name)
-			}
-		}
-		return true
-	})
+	ch, ok := tv.Type.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	named, ok := ch.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "time" && named.Obj().Name() == "Time"
 }
 
 // checkCtxCall applies rules 1 (Context sibling), 2 (time.Sleep) and 4

@@ -17,7 +17,10 @@ func Run() int { return 1 }
 func RunContext(ctx context.Context) int { return 1 }
 
 // Server carries a method pair mirroring Run/RunContext.
-type Server struct{ ch chan int }
+type Server struct {
+	ch  chan int
+	ctx context.Context
+}
 
 // Do is the context-free method.
 func (s *Server) Do() {}
@@ -53,4 +56,41 @@ func handler(w http.ResponseWriter, r *http.Request) {
 func plain(s *Server) {
 	s.ch <- 3
 	<-s.ch
+}
+
+// retryLoop is context-free, so its timed waits form uncancellable
+// backoff/polling loops (rule 5).
+func retryLoop(s *Server) {
+	for i := 0; i < 3; i++ {
+		s.Do()
+		time.Sleep(time.Second) // want `timed wait in a loop in context-free function retryLoop`
+	}
+	t := time.NewTimer(time.Second)
+	for {
+		<-t.C // want `timed wait in a loop in context-free function retryLoop`
+	}
+}
+
+// pollEscaped documents why its wait must stay context-free.
+func pollEscaped(s *Server) {
+	for {
+		s.Do()
+		time.Sleep(time.Millisecond) //fuselint:noctx fixture: simulated hardware polling with no caller to cancel it
+	}
+}
+
+// tickGuarded is context-free but reaches a context through a struct field:
+// its loop wait sits in a ctx.Done select, so rule 5 leaves it alone. A
+// single sleep outside any loop is also fine in a context-free function.
+func tickGuarded(s *Server) {
+	time.Sleep(time.Millisecond)
+	t := time.NewTicker(time.Second)
+	for {
+		select {
+		case <-t.C:
+			s.Do()
+		case <-s.ctx.Done():
+			return
+		}
+	}
 }

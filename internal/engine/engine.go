@@ -15,10 +15,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"fuse/internal/config"
 	"fuse/internal/sim"
@@ -193,6 +196,38 @@ type Config struct {
 	// jobs whose store key hits the cache skip execution entirely, and
 	// freshly executed results are written through.
 	Cache Cache
+	// Retries is the number of times a failed execution is retried before
+	// the job's error is reported (so a job executes at most Retries+1
+	// times). Context errors — and nothing else — are never retried. Zero
+	// disables retries.
+	Retries int
+	// RetryBackoff is the base delay before the first retry; each further
+	// attempt doubles it, capped at RetryMaxBackoff. The actual delay is
+	// jittered deterministically per (job, attempt), and the wait always
+	// selects on ctx.Done(). Zero means DefaultRetryBackoff.
+	RetryBackoff time.Duration
+	// RetryMaxBackoff caps the exponential backoff. Zero means
+	// DefaultRetryMaxBackoff.
+	RetryMaxBackoff time.Duration
+}
+
+// Default retry backoff bounds (see Config.RetryBackoff).
+const (
+	DefaultRetryBackoff    = 10 * time.Millisecond
+	DefaultRetryMaxBackoff = time.Second
+)
+
+// PanicError is the per-job error a panicking execution is converted into:
+// the recovered value plus the goroutine stack at the panic site. A panic in
+// one simulation never takes down the worker pool or the process.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error implements the error interface.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("engine: job panicked: %v\n%s", e.Value, e.Stack)
 }
 
 // JobError pairs a failed job with its error.
@@ -247,11 +282,17 @@ type Runner struct {
 	cache      Cache
 	sem        chan struct{}
 
+	retries    int
+	backoff    time.Duration
+	backoffMax time.Duration
+
 	mu        sync.Mutex
 	calls     map[Key]*call
 	completed int
 	executed  int
 	storeHits int
+	retried   int
+	panicked  int
 }
 
 // New creates a Runner. A zero Config is valid: GOMAXPROCS workers, the real
@@ -277,6 +318,14 @@ func New(cfg Config) *Runner {
 	if cfg.SimWorkers > 0 && cfg.SimWorkers < simWorkers {
 		simWorkers = cfg.SimWorkers
 	}
+	backoff := cfg.RetryBackoff
+	if backoff <= 0 {
+		backoff = DefaultRetryBackoff
+	}
+	backoffMax := cfg.RetryMaxBackoff
+	if backoffMax <= 0 {
+		backoffMax = DefaultRetryMaxBackoff
+	}
 	return &Runner{
 		workers:    workers,
 		simWorkers: simWorkers,
@@ -285,6 +334,9 @@ func New(cfg Config) *Runner {
 		progress:   cfg.Progress,
 		cache:      cfg.Cache,
 		sem:        make(chan struct{}, workers),
+		retries:    cfg.Retries,
+		backoff:    backoff,
+		backoffMax: backoffMax,
 		calls:      make(map[Key]*call),
 	}
 }
@@ -334,6 +386,22 @@ func (r *Runner) StoreHits() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.storeHits
+}
+
+// Retried returns the number of retry attempts spent on failed executions
+// (each re-execution counts one, whether or not it ultimately succeeded).
+func (r *Runner) Retried() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.retried
+}
+
+// Panics returns the number of executions that panicked and were converted
+// into per-job errors.
+func (r *Runner) Panics() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.panicked
 }
 
 // Keys returns the cached job keys in a stable order (for inspection).
@@ -407,6 +475,73 @@ func (r *Runner) notify(p *progressState, job Job, err error) {
 	r.progress(Progress{Done: p.done, Total: p.total, Job: job, Err: err})
 }
 
+// execAttempt runs one execution attempt with panic containment: a panic in
+// the executor (or the simulator under it) becomes a *PanicError carrying
+// the stack, and is counted, instead of killing the worker pool.
+func (r *Runner) execAttempt(ctx context.Context, job Job) (res sim.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			stack := debug.Stack()
+			r.mu.Lock()
+			r.panicked++
+			r.mu.Unlock()
+			res, err = sim.Result{}, &PanicError{Value: v, Stack: stack}
+		}
+	}()
+	return r.exec(ctx, job)
+}
+
+// backoffDelay returns the jittered delay before retry number attempt
+// (1-based): the base backoff doubled per attempt, capped, then scaled by a
+// deterministic jitter fraction in [0.5, 1.0) derived from the job name and
+// attempt — no shared PRNG stream, so the delay schedule of one job never
+// depends on goroutine interleaving.
+func backoffDelay(base, max time.Duration, attempt int, name string) time.Duration {
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	x := h.Sum64() + uint64(attempt)*0x9e3779b97f4a7c15
+	// splitmix64 finaliser: decorrelates the hash into uniform bits.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	frac := 0.5 + float64(x>>11)/(1<<53)/2
+	return time.Duration(float64(d) * frac)
+}
+
+// execWithRetry runs a job up to 1+Retries times with capped exponential
+// backoff between attempts. Context errors are returned immediately — a
+// cancelled batch must not sit out a backoff schedule — and every backoff
+// wait itself selects on ctx.Done().
+func (r *Runner) execWithRetry(ctx context.Context, job Job) (sim.Result, error) {
+	res, err := r.execAttempt(ctx, job)
+	for attempt := 1; attempt <= r.retries; attempt++ {
+		if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return res, err
+		}
+		timer := time.NewTimer(backoffDelay(r.backoff, r.backoffMax, attempt, job.String()))
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return res, err // report the real failure, not the cancellation
+		}
+		r.mu.Lock()
+		r.retried++
+		r.mu.Unlock()
+		res, err = r.execAttempt(ctx, job)
+	}
+	return res, err
+}
+
 // run executes one call: first past the second-tier result cache (a hit
 // skips the worker pool entirely), then on the pool itself, writing fresh
 // results back through the cache.
@@ -434,7 +569,7 @@ func (r *Runner) run(ctx context.Context, k Key, c *call, job Job, p *progressSt
 		return
 	}
 	defer func() { <-r.sem }() //fuselint:noctx releasing a slot the select above acquired; the receive never blocks
-	res, err := r.exec(ctx, job)
+	res, err := r.execWithRetry(ctx, job)
 	if err == nil {
 		r.mu.Lock()
 		r.executed++

@@ -559,3 +559,176 @@ func TestExecuteParallelSimulatorMatches(t *testing.T) {
 		t.Errorf("parallel Execute diverged from sequential:\n got: %+v\nwant: %+v", par, seq)
 	}
 }
+
+func TestPanicRecoveryBecomesPerJobError(t *testing.T) {
+	var total atomic.Int64
+	r := New(Config{Workers: 2, Exec: func(_ context.Context, job Job) (sim.Result, error) {
+		total.Add(1)
+		if job.Workload == "BOOM" {
+			panic("simulated explosion")
+		}
+		return sim.Result{Workload: job.Workload}, nil
+	}})
+
+	jobs := []Job{
+		{Kind: config.L1SRAM, Workload: "A"},
+		{Kind: config.L1SRAM, Workload: "BOOM"},
+		{Kind: config.L1SRAM, Workload: "B"},
+	}
+	res, err := r.RunBatch(context.Background(), jobs)
+	if err == nil {
+		t.Fatalf("expected a batch error for the panicking job")
+	}
+	var be *BatchError
+	if !errors.As(err, &be) || len(be.Errors) != 1 {
+		t.Fatalf("want exactly one failed job, got %v", err)
+	}
+	var pe *PanicError
+	if !errors.As(be.Errors[0].Err, &pe) {
+		t.Fatalf("want *PanicError, got %T: %v", be.Errors[0].Err, be.Errors[0].Err)
+	}
+	if pe.Value != "simulated explosion" || len(pe.Stack) == 0 {
+		t.Errorf("PanicError should carry the value and a stack: %+v", pe.Value)
+	}
+	// The pool survived: the healthy jobs completed normally.
+	if res[0].Workload != "A" || res[2].Workload != "B" {
+		t.Errorf("healthy jobs should complete despite the panic")
+	}
+	if r.Panics() != 1 {
+		t.Errorf("Panics = %d, want 1", r.Panics())
+	}
+	// The pool is still usable after the panic.
+	if _, err := r.Get(context.Background(), Job{Kind: config.DyFUSE, Workload: "C"}); err != nil {
+		t.Errorf("runner unusable after panic: %v", err)
+	}
+}
+
+func TestRetryRecoversTransientFailures(t *testing.T) {
+	var attempts atomic.Int64
+	r := New(Config{
+		Workers: 2,
+		Retries: 3,
+		// Keep the test fast: microsecond backoff.
+		RetryBackoff:    time.Microsecond,
+		RetryMaxBackoff: 10 * time.Microsecond,
+		Exec: func(_ context.Context, job Job) (sim.Result, error) {
+			if attempts.Add(1) <= 2 {
+				return sim.Result{}, errors.New("transient")
+			}
+			return sim.Result{Workload: job.Workload}, nil
+		},
+	})
+	res, err := r.Get(context.Background(), Job{Kind: config.L1SRAM, Workload: "A"})
+	if err != nil {
+		t.Fatalf("retries should have recovered the job: %v", err)
+	}
+	if res.Workload != "A" {
+		t.Errorf("wrong result after retry: %+v", res)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Errorf("attempts = %d, want 3", got)
+	}
+	if r.Retried() != 2 {
+		t.Errorf("Retried = %d, want 2", r.Retried())
+	}
+	if r.Executed() != 1 {
+		t.Errorf("Executed = %d, want 1 (retries are not extra executions)", r.Executed())
+	}
+}
+
+func TestRetriesExhaustedReportsLastError(t *testing.T) {
+	var attempts atomic.Int64
+	r := New(Config{
+		Workers:         1,
+		Retries:         2,
+		RetryBackoff:    time.Microsecond,
+		RetryMaxBackoff: time.Microsecond,
+		Exec: func(_ context.Context, _ Job) (sim.Result, error) {
+			return sim.Result{}, fmt.Errorf("failure %d", attempts.Add(1))
+		},
+	})
+	_, err := r.Get(context.Background(), Job{Kind: config.L1SRAM, Workload: "A"})
+	if err == nil || err.Error() != "failure 3" {
+		t.Fatalf("want the last attempt's error, got %v", err)
+	}
+	if attempts.Load() != 3 {
+		t.Errorf("attempts = %d, want 1+2 retries", attempts.Load())
+	}
+}
+
+func TestRetryDoesNotRetryContextErrors(t *testing.T) {
+	var attempts atomic.Int64
+	ctx, cancel := context.WithCancel(context.Background())
+	r := New(Config{
+		Workers: 1,
+		Retries: 5,
+		Exec: func(ctx context.Context, _ Job) (sim.Result, error) {
+			attempts.Add(1)
+			cancel()
+			return sim.Result{}, ctx.Err()
+		},
+	})
+	_, err := r.Get(ctx, Job{Kind: config.L1SRAM, Workload: "A"})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if attempts.Load() != 1 {
+		t.Errorf("context errors must not be retried: %d attempts", attempts.Load())
+	}
+	if r.Retried() != 0 {
+		t.Errorf("Retried = %d, want 0", r.Retried())
+	}
+}
+
+func TestRetryBackoffAbortsOnCancel(t *testing.T) {
+	var attempts atomic.Int64
+	ctx, cancel := context.WithCancel(context.Background())
+	r := New(Config{
+		Workers:      1,
+		Retries:      5,
+		RetryBackoff: time.Hour, // the wait must be cut short by cancellation
+		Exec: func(_ context.Context, _ Job) (sim.Result, error) {
+			attempts.Add(1)
+			cancel() // fail, then cancel: the backoff select must wake up
+			return sim.Result{}, errors.New("transient")
+		},
+	})
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Get(ctx, Job{Kind: config.L1SRAM, Workload: "A"})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil || err.Error() != "transient" {
+			t.Fatalf("want the real failure, got %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("backoff wait ignored cancellation")
+	}
+	if attempts.Load() != 1 {
+		t.Errorf("attempts = %d, want 1 (no retry after cancel)", attempts.Load())
+	}
+}
+
+func TestBackoffDelayDeterministicCappedJittered(t *testing.T) {
+	base, max := 10*time.Millisecond, 80*time.Millisecond
+	for attempt := 1; attempt <= 8; attempt++ {
+		d1 := backoffDelay(base, max, attempt, "Dy-FUSE/ATAX")
+		d2 := backoffDelay(base, max, attempt, "Dy-FUSE/ATAX")
+		if d1 != d2 {
+			t.Fatalf("attempt %d: delay not deterministic: %v != %v", attempt, d1, d2)
+		}
+		// Jitter keeps the delay in [raw/2, raw).
+		raw := base << (attempt - 1)
+		if raw > max {
+			raw = max
+		}
+		if d1 < raw/2 || d1 >= raw {
+			t.Errorf("attempt %d: delay %v outside [%v, %v)", attempt, d1, raw/2, raw)
+		}
+	}
+	if backoffDelay(base, max, 1, "a/b") == backoffDelay(base, max, 1, "c/d") {
+		t.Errorf("different jobs should jitter differently")
+	}
+}

@@ -1,0 +1,313 @@
+// Package fault is the deterministic fault-injection harness behind the
+// chaos suite: a seeded Plan of per-operation failure probabilities, a
+// store.Cache wrapper that drops, fails and corrupts cache traffic, and an
+// executor wrapper that injects transient errors, latency spikes and panics
+// into the engine's job path.
+//
+// Every injection decision is a pure function of (seed, operation, identity,
+// per-identity sequence number) — a counter-based PRNG, not a shared stream —
+// so a chaos run is reproducible regardless of goroutine interleaving: the
+// Nth Get of a given key fails (or not) identically on every run with the
+// same Plan. That is what lets the chaos suite assert byte-identical figure
+// tables under fault load.
+package fault
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"fuse/internal/sim"
+	"fuse/internal/store"
+)
+
+// writeRaw overwrites a file with raw bytes, creating the parent directory —
+// how corrupting Puts plant undecodable entries.
+func writeRaw(path string, data []byte) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Plan is a seeded fault-injection plan. The zero value injects nothing;
+// probabilities are in [0, 1].
+type Plan struct {
+	// Seed drives every injection decision. Two runs with the same Plan
+	// make identical decisions.
+	Seed uint64
+
+	// GetFailProb is the probability that a cache Get is failed (reported
+	// as a miss, the only failure mode Cache.Get has).
+	GetFailProb float64
+	// PutDropProb is the probability that a cache Put is silently dropped.
+	PutDropProb float64
+	// PutCorruptProb is the probability that a cache Put is replaced by
+	// garbage bytes written directly to the disk tier's entry file —
+	// detectably corrupt (it cannot decode), never wrong-but-valid, so the
+	// store's quarantine path is exercised instead of poisoning results.
+	// Requires a Disk to corrupt; ignored otherwise.
+	PutCorruptProb float64
+
+	// ExecFailProb is the probability that a job execution is replaced by a
+	// transient error.
+	ExecFailProb float64
+	// ExecFailLimit caps injected failures per job, so a retry budget above
+	// the limit is guaranteed to reach the real execution. Zero means
+	// unlimited.
+	ExecFailLimit int
+	// SlowProb is the probability that an execution is delayed by SlowDelay
+	// before running (the delay waits on ctx.Done()).
+	SlowProb float64
+	// SlowDelay is the injected latency spike for slow executions.
+	SlowDelay time.Duration
+	// PanicOn, when non-empty, makes the first execution of the job with
+	// this String() name panic — once. Retry must recover it.
+	PanicOn string
+}
+
+// decide is the deterministic coin flip: true with probability prob for this
+// (op, identity, seq) triple under the plan's seed.
+func (p Plan) decide(op, identity string, seq uint64, prob float64) bool {
+	if prob <= 0 {
+		return false
+	}
+	if prob >= 1 {
+		return true
+	}
+	h := fnv.New64a()
+	h.Write([]byte(op))
+	h.Write([]byte{0})
+	h.Write([]byte(identity))
+	x := p.Seed ^ h.Sum64()
+	x += (seq + 1) * 0x9e3779b97f4a7c15
+	// splitmix64 finaliser: uniform bits from the structured input.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11)/(1<<53) < prob
+}
+
+// seqCounter hands out per-identity sequence numbers under a lock of its
+// own, so injection decisions depend only on how many times an identity was
+// seen — never on goroutine interleaving across identities.
+type seqCounter struct {
+	mu sync.Mutex
+	n  map[string]uint64
+}
+
+// next returns the identity's next 0-based sequence number.
+func (s *seqCounter) next(identity string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n == nil {
+		s.n = make(map[string]uint64)
+	}
+	seq := s.n[identity]
+	s.n[identity] = seq + 1
+	return seq
+}
+
+// CacheStats counts the faults a Cache injected. The counters are chaos-run
+// observability — the chaos suite asserts on them through Stats() — not
+// simulation statistics, so they never flow into sim.Result.
+type CacheStats struct {
+	//fuselint:internalstat chaos-suite observability, read through Stats(), never a simulation stat
+	GetsFailed int64 `json:"getsFailed"`
+	//fuselint:internalstat chaos-suite observability, read through Stats(), never a simulation stat
+	PutsDropped int64 `json:"putsDropped"`
+	//fuselint:internalstat chaos-suite observability, read through Stats(), never a simulation stat
+	PutsCorrupt int64 `json:"putsCorrupted"`
+	//fuselint:internalstat chaos-suite observability, read through Stats(), never a simulation stat
+	GetsForwarded int64 `json:"getsForwarded"`
+	//fuselint:internalstat chaos-suite observability, read through Stats(), never a simulation stat
+	PutsForwarded int64 `json:"putsForwarded"`
+}
+
+// Cache wraps a store.Cache with plan-driven faults: failed Gets read as
+// misses, failed Puts are dropped, and corrupting Puts write garbage bytes
+// to the disk tier (when one is attached) so the quarantine path runs.
+type Cache struct {
+	plan  Plan
+	inner store.Cache
+	disk  *store.Disk // corruption target; nil disables PutCorruptProb
+
+	getSeq seqCounter
+	putSeq seqCounter
+
+	mu    sync.Mutex
+	stats CacheStats
+}
+
+// WrapCache wraps inner with the plan's store faults. disk, when non-nil, is
+// the tier whose entry files corrupting Puts overwrite (pass the same *Disk
+// that backs inner).
+func WrapCache(plan Plan, inner store.Cache, disk *store.Disk) *Cache {
+	return &Cache{plan: plan, inner: inner, disk: disk}
+}
+
+// bump applies a mutation to the stats under the lock.
+func (c *Cache) bump(f func(*CacheStats)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f(&c.stats)
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Get implements store.Cache: an injected failure is a miss.
+func (c *Cache) Get(key string) (sim.Result, bool) {
+	if c.plan.decide("get", key, c.getSeq.next(key), c.plan.GetFailProb) {
+		c.bump(func(s *CacheStats) { s.GetsFailed++ })
+		return sim.Result{}, false
+	}
+	c.bump(func(s *CacheStats) { s.GetsForwarded++ })
+	return c.inner.Get(key)
+}
+
+// Put implements store.Cache: an injected drop discards the write, an
+// injected corruption replaces the disk entry with undecodable bytes.
+func (c *Cache) Put(key string, res sim.Result) {
+	seq := c.putSeq.next(key)
+	if c.plan.decide("put-drop", key, seq, c.plan.PutDropProb) {
+		c.bump(func(s *CacheStats) { s.PutsDropped++ })
+		return
+	}
+	if c.disk != nil && c.plan.decide("put-corrupt", key, seq, c.plan.PutCorruptProb) {
+		if path := c.disk.EntryPath(key); path != "" {
+			c.corrupt(path)
+			c.bump(func(s *CacheStats) { s.PutsCorrupt++ })
+			return
+		}
+	}
+	c.bump(func(s *CacheStats) { s.PutsForwarded++ })
+	c.inner.Put(key, res)
+}
+
+// corrupt writes a truncated envelope to the entry path: bytes that exist —
+// so the disk tier finds and reads them — but can never decode, so the read
+// path must quarantine and miss rather than return a wrong result.
+func (c *Cache) corrupt(path string) {
+	_ = writeRaw(path, []byte(`{"schema":2,"result":`))
+}
+
+// ExecFunc matches the engine's executor signature without importing the
+// engine (the wrapper stays usable for any (ctx, job) executor).
+type ExecFunc[J fmt.Stringer] func(context.Context, J) (sim.Result, error)
+
+// InjectorStats counts the faults an Injector injected. Chaos-run
+// observability (read through Stats()), never simulation statistics.
+type InjectorStats struct {
+	//fuselint:internalstat chaos-suite observability, read through Stats(), never a simulation stat
+	Failures int64 `json:"failures"`
+	//fuselint:internalstat chaos-suite observability, read through Stats(), never a simulation stat
+	Slowed int64 `json:"slowed"`
+	//fuselint:internalstat chaos-suite observability, read through Stats(), never a simulation stat
+	Panics int64 `json:"panics"`
+	//fuselint:internalstat chaos-suite observability, read through Stats(), never a simulation stat
+	Executed int64 `json:"executed"`
+}
+
+// Injector wraps a job executor with plan-driven faults: transient errors,
+// latency spikes, and a one-shot panic on a named job.
+type Injector[J fmt.Stringer] struct {
+	plan  Plan
+	inner ExecFunc[J]
+
+	seq seqCounter
+
+	mu       sync.Mutex
+	fails    map[string]int
+	panicked bool
+	stats    InjectorStats
+}
+
+// NewInjector wraps inner with the plan's execution faults.
+func NewInjector[J fmt.Stringer](plan Plan, inner ExecFunc[J]) *Injector[J] {
+	return &Injector[J]{plan: plan, inner: inner, fails: make(map[string]int)}
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (in *Injector[J]) Stats() InjectorStats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// shouldPanic consumes the one-shot panic trigger for the named job.
+func (in *Injector[J]) shouldPanic(name string) bool {
+	if in.plan.PanicOn == "" || name != in.plan.PanicOn {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.panicked {
+		return false
+	}
+	in.panicked = true
+	in.stats.Panics++
+	return true
+}
+
+// shouldFail decides a transient failure for the job, honouring the
+// per-job injected-failure cap.
+func (in *Injector[J]) shouldFail(name string, seq uint64) bool {
+	if !in.plan.decide("exec-fail", name, seq, in.plan.ExecFailProb) {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.plan.ExecFailLimit > 0 && in.fails[name] >= in.plan.ExecFailLimit {
+		return false
+	}
+	in.fails[name]++
+	in.stats.Failures++
+	return true
+}
+
+// noteSlow and noteExec bump their counters under the lock.
+func (in *Injector[J]) noteSlow() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.stats.Slowed++
+}
+func (in *Injector[J]) noteExec() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.stats.Executed++
+}
+
+// Exec is the fault-injecting executor: pass it as the engine's Exec hook.
+func (in *Injector[J]) Exec(ctx context.Context, job J) (sim.Result, error) {
+	name := job.String()
+	seq := in.seq.next(name)
+	if in.shouldPanic(name) {
+		panic(fmt.Sprintf("fault: injected panic in %s", name))
+	}
+	if in.shouldFail(name, seq) {
+		return sim.Result{}, fmt.Errorf("fault: injected transient failure in %s (attempt %d)", name, seq+1)
+	}
+	if in.plan.SlowDelay > 0 && in.plan.decide("exec-slow", name, seq, in.plan.SlowProb) {
+		in.noteSlow()
+		timer := time.NewTimer(in.plan.SlowDelay)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return sim.Result{}, ctx.Err()
+		}
+	}
+	in.noteExec()
+	return in.inner(ctx, job)
+}

@@ -13,12 +13,14 @@
 // Disk layout: one versioned JSON envelope per result at
 // <dir>/<key[:2]>/<key>.json, written atomically (temp file + rename).
 // Corrupt, truncated or wrong-schema entries are treated as cache misses,
-// never as errors.
+// never as errors; on read they are quarantined (renamed to <key>.corrupt)
+// so the key becomes writable again instead of silently re-missing forever.
 //
-// The Cache interface composes: Memory is the in-process tier, Disk the
-// persistent one, and Tiered layers memory over disk with read-through
-// backfill. The engine consults a Cache before executing a job and writes
-// results through after execution.
+// The Cache interface composes: Memory is the in-process tier (optionally
+// bounded, with LRU eviction), Disk the persistent one, and Tiered layers
+// memory over disk with read-through backfill. The engine consults a Cache
+// before executing a job and writes results through after execution. Each
+// tier exports a Health snapshot for the serving layer's health endpoints.
 package store
 
 import (
@@ -26,10 +28,13 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"fuse/internal/config"
 	"fuse/internal/sim"
@@ -153,45 +158,176 @@ type Cache interface {
 	Put(key string, res sim.Result)
 }
 
-// Memory is the in-process cache tier: a mutex-guarded map.
+// Health is a point-in-time snapshot of one cache tier's condition, served
+// by the fuseserve health endpoints.
+type Health struct {
+	// Tier names the tier ("memory" or "disk").
+	Tier string `json:"tier"`
+	// Entries is the resident entry count (memory tier only: the disk tier
+	// would have to walk its directory to count).
+	Entries int `json:"entries,omitempty"`
+	// Capacity is the memory tier's entry bound (0 = unbounded).
+	Capacity int `json:"capacity,omitempty"`
+	// Evictions counts entries the memory tier evicted to stay within its
+	// capacity.
+	Evictions int64 `json:"evictions,omitempty"`
+	// Quarantined counts corrupt disk entries renamed aside on read.
+	Quarantined int64 `json:"quarantined,omitempty"`
+	// IOFailures is the current run of consecutive disk I/O failures; any
+	// successful read or write resets it.
+	IOFailures int64 `json:"ioFailures,omitempty"`
+	// Degraded reports whether the tier has tripped its degraded state
+	// (the disk tier trips after DegradedThreshold consecutive I/O
+	// failures and recovers on the next success).
+	Degraded bool `json:"degraded"`
+}
+
+// HealthReporter is implemented by cache tiers that can snapshot their
+// condition.
+type HealthReporter interface {
+	Health() Health
+}
+
+// Memory is the in-process cache tier: a mutex-guarded map with an optional
+// entry bound. When bounded, the least-recently-used entry is evicted on
+// overflow, so sweep traffic degrades gracefully to a working set instead of
+// growing without limit.
 type Memory struct {
-	mu sync.RWMutex
-	m  map[string]sim.Result
+	mu         sync.Mutex
+	m          map[string]*memEntry
+	head, tail *memEntry // recency list: head = most recently used
+	capacity   int       // 0 = unbounded
+	evictions  int64
 }
 
-// NewMemory creates an empty in-memory tier.
+// memEntry is one resident result on the recency list.
+type memEntry struct {
+	key        string
+	res        sim.Result
+	prev, next *memEntry
+}
+
+// NewMemory creates an empty, unbounded in-memory tier.
 func NewMemory() *Memory {
-	return &Memory{m: make(map[string]sim.Result)}
+	return &Memory{m: make(map[string]*memEntry)}
 }
 
-// Get implements Cache.
+// NewMemoryLRU creates an in-memory tier bounded to capacity entries with
+// least-recently-used eviction. A capacity of zero or less is unbounded.
+func NewMemoryLRU(capacity int) *Memory {
+	c := NewMemory()
+	if capacity > 0 {
+		c.capacity = capacity
+	}
+	return c
+}
+
+// unlink removes e from the recency list.
+func (c *Memory) unlink(e *memEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// pushFront makes e the most recently used entry.
+func (c *Memory) pushFront(e *memEntry) {
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// Get implements Cache, freshening the entry's recency.
 func (c *Memory) Get(key string) (sim.Result, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	res, ok := c.m[key]
-	return res, ok
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[key]
+	if !ok {
+		return sim.Result{}, false
+	}
+	if c.head != e {
+		c.unlink(e)
+		c.pushFront(e)
+	}
+	return e.res, true
 }
 
-// Put implements Cache.
+// Put implements Cache, evicting the least-recently-used entry when a bound
+// is set and exceeded.
 func (c *Memory) Put(key string, res sim.Result) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.m[key] = res
+	if e, ok := c.m[key]; ok {
+		e.res = res
+		if c.head != e {
+			c.unlink(e)
+			c.pushFront(e)
+		}
+		return
+	}
+	e := &memEntry{key: key, res: res}
+	c.m[key] = e
+	c.pushFront(e)
+	if c.capacity > 0 && len(c.m) > c.capacity {
+		victim := c.tail
+		c.unlink(victim)
+		delete(c.m, victim.key)
+		c.evictions++
+	}
 }
 
 // Len returns the number of cached results.
 func (c *Memory) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return len(c.m)
 }
+
+// Health implements HealthReporter. The memory tier never degrades:
+// eviction is its designed response to pressure.
+func (c *Memory) Health() Health {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Health{
+		Tier:      "memory",
+		Entries:   len(c.m),
+		Capacity:  c.capacity,
+		Evictions: c.evictions,
+	}
+}
+
+// DegradedThreshold is the number of consecutive disk I/O failures after
+// which the disk tier reports itself degraded. The tier keeps serving (every
+// failure is still just a miss or a dropped write); the flag only feeds the
+// health endpoints so operators and load balancers can react.
+const DegradedThreshold = 3
 
 // Disk is the persistent, content-addressed cache tier.
 type Disk struct {
 	dir string
+
+	// quarantined counts corrupt entries renamed aside on read.
+	quarantined atomic.Int64
+	// ioFailures is the current run of consecutive I/O failures (reads or
+	// writes that error for reasons other than the entry not existing); a
+	// successful read or write resets it.
+	ioFailures atomic.Int64
 }
 
-// Open creates (if necessary) and opens a disk store rooted at dir.
+// Open creates (if necessary) and opens a disk store rooted at dir, sweeping
+// any stale .tmp-* files a crashed writer may have left behind.
 func Open(dir string) (*Disk, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("store: empty directory")
@@ -199,7 +335,23 @@ func Open(dir string) (*Disk, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
+	sweepTempFiles(dir)
 	return &Disk{dir: dir}, nil
+}
+
+// sweepTempFiles removes .tmp-* files from the store's fan-out directories.
+// Writers create them with os.CreateTemp and rename them into place; a
+// writer killed between the two leaves an orphan that would otherwise
+// accumulate forever. Removal is best-effort — a sweep failure never blocks
+// opening the store.
+func sweepTempFiles(dir string) {
+	stale, err := filepath.Glob(filepath.Join(dir, "*", ".tmp-*"))
+	if err != nil {
+		return
+	}
+	for _, path := range stale {
+		_ = os.Remove(path)
+	}
 }
 
 // Dir returns the store's root directory.
@@ -211,22 +363,68 @@ func (d *Disk) path(key string) string {
 	return filepath.Join(d.dir, key[:2], key+".json")
 }
 
-// Get implements Cache. Unreadable or corrupt entries are misses.
+// EntryPath returns the on-disk path of a key's entry file. Exposed for
+// tooling and fault injection that needs to manipulate entries at the byte
+// level; returns "" for an invalid key.
+func (d *Disk) EntryPath(key string) string {
+	if !ValidKey(key) {
+		return ""
+	}
+	return d.path(key)
+}
+
+// quarantinePath is where a corrupt entry is renamed: same fan-out
+// directory, .corrupt extension.
+func (d *Disk) quarantinePath(key string) string {
+	return filepath.Join(d.dir, key[:2], key+".corrupt")
+}
+
+// ioFailed records one I/O failure; ioOK ends the failure run.
+func (d *Disk) ioFailed() { d.ioFailures.Add(1) }
+func (d *Disk) ioOK()     { d.ioFailures.Store(0) }
+
+// Get implements Cache. Unreadable entries are misses; corrupt entries
+// (truncated, malformed, wrong schema) are quarantined — renamed to
+// <key>.corrupt — so the key reads as a genuine miss and the next Put
+// repopulates it, instead of the store re-missing on the same bad bytes
+// forever.
 //
 //fuselint:blocking reads the entry from disk
 func (d *Disk) Get(key string) (sim.Result, bool) {
 	if !ValidKey(key) {
 		return sim.Result{}, false
 	}
-	data, err := os.ReadFile(d.path(key))
+	path := d.path(key)
+	data, err := os.ReadFile(path)
 	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			d.ioFailed()
+		}
 		return sim.Result{}, false
 	}
 	res, err := Decode(data)
 	if err != nil {
+		if os.Rename(path, d.quarantinePath(key)) == nil {
+			d.quarantined.Add(1)
+		}
 		return sim.Result{}, false
 	}
+	d.ioOK()
 	return res, true
+}
+
+// Quarantined returns the number of corrupt entries quarantined on read.
+func (d *Disk) Quarantined() int64 { return d.quarantined.Load() }
+
+// Health implements HealthReporter.
+func (d *Disk) Health() Health {
+	fails := d.ioFailures.Load()
+	return Health{
+		Tier:        "disk",
+		Quarantined: d.quarantined.Load(),
+		IOFailures:  fails,
+		Degraded:    fails >= DegradedThreshold,
+	}
 }
 
 // Put implements Cache, swallowing write errors (a read-only or full store
@@ -247,7 +445,16 @@ func (d *Disk) Write(key string, res sim.Result) error {
 	if err != nil {
 		return err
 	}
-	path := d.path(key)
+	if err := d.writeEntry(d.path(key), data); err != nil {
+		d.ioFailed()
+		return err
+	}
+	d.ioOK()
+	return nil
+}
+
+// writeEntry performs the atomic temp-file + rename write of one entry.
+func (d *Disk) writeEntry(path string, data []byte) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
@@ -297,6 +504,20 @@ func OpenTiered(dir string) (*Tiered, error) {
 	return NewTiered(NewMemory(), disk), nil
 }
 
+// OpenTieredResilient opens a tiered store at dir; if the disk tier cannot
+// be opened it degrades to a memory-only cache instead of failing, returning
+// the open error as a warning. The returned Tiered is always usable:
+//
+//	cache, warn := store.OpenTieredResilient(dir)
+//	if warn != nil { log.Printf("warning: %v; continuing memory-only", warn) }
+func OpenTieredResilient(dir string) (*Tiered, error) {
+	t, err := OpenTiered(dir)
+	if err != nil {
+		return NewTiered(NewMemory()), err
+	}
+	return t, nil
+}
+
 // Tiered layers cache tiers fastest-first: Get probes in order and backfills
 // every faster tier on a hit; Put writes through to all tiers.
 type Tiered struct {
@@ -326,4 +547,25 @@ func (t *Tiered) Put(key string, res sim.Result) {
 	for _, c := range t.tiers {
 		c.Put(key, res)
 	}
+}
+
+// Health snapshots every tier that can report one, fastest-first.
+func (t *Tiered) Health() []Health {
+	var out []Health
+	for _, c := range t.tiers {
+		if hr, ok := c.(HealthReporter); ok {
+			out = append(out, hr.Health())
+		}
+	}
+	return out
+}
+
+// Degraded reports whether any tier is degraded.
+func (t *Tiered) Degraded() bool {
+	for _, h := range t.Health() {
+		if h.Degraded {
+			return true
+		}
+	}
+	return false
 }

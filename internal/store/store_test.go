@@ -453,3 +453,274 @@ func TestCustomWorkloadKeysDistinctAndStable(t *testing.T) {
 		t.Errorf("phased workload key must be stable")
 	}
 }
+
+// hexKey mints a syntactically valid store key from a one-byte seed.
+func hexKey(b byte) string {
+	return strings.Repeat(hex.EncodeToString([]byte{b}), 32)
+}
+
+func TestMemoryLRUEvictsLeastRecentlyUsed(t *testing.T) {
+	c := NewMemoryLRU(3)
+	rng := rand.New(rand.NewSource(6))
+	res := sampleResult(rng)
+	k1, k2, k3, k4 := hexKey(0x10), hexKey(0x11), hexKey(0x12), hexKey(0x13)
+
+	c.Put(k1, res)
+	c.Put(k2, res)
+	c.Put(k3, res)
+	// Freshen k1: k2 becomes the least recently used.
+	if _, ok := c.Get(k1); !ok {
+		t.Fatalf("k1 should hit")
+	}
+	c.Put(k4, res)
+	if _, ok := c.Get(k2); ok {
+		t.Errorf("k2 should have been evicted as least recently used")
+	}
+	for _, k := range []string{k1, k3, k4} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("key %s should survive eviction", k[:4])
+		}
+	}
+	if c.Len() != 3 {
+		t.Errorf("Len = %d, want 3", c.Len())
+	}
+	h := c.Health()
+	if h.Tier != "memory" || h.Entries != 3 || h.Capacity != 3 || h.Evictions != 1 {
+		t.Errorf("Health = %+v, want memory/3/3/1", h)
+	}
+	if h.Degraded {
+		t.Errorf("memory tier must never report degraded")
+	}
+
+	// Re-Put of a resident key freshens instead of growing.
+	c.Put(k3, res)
+	if c.Len() != 3 {
+		t.Errorf("re-Put grew the cache to %d entries", c.Len())
+	}
+
+	// Unbounded memory never evicts.
+	u := NewMemory()
+	for i := 0; i < 64; i++ {
+		u.Put(hexKey(byte(i)), res)
+	}
+	if u.Len() != 64 || u.Health().Evictions != 0 {
+		t.Errorf("unbounded tier evicted: len=%d evictions=%d", u.Len(), u.Health().Evictions)
+	}
+}
+
+func TestDiskQuarantinesCorruptEntries(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sampleResult(rand.New(rand.NewSource(7)))
+	key := hexKey(0x20)
+	if err := d.Write(key, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(d.path(key), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := d.Get(key); ok {
+		t.Fatalf("corrupt entry should miss")
+	}
+	if _, err := os.Stat(d.path(key)); !os.IsNotExist(err) {
+		t.Errorf("corrupt entry should have been renamed away, stat err = %v", err)
+	}
+	if _, err := os.Stat(d.quarantinePath(key)); err != nil {
+		t.Errorf("quarantine file missing: %v", err)
+	}
+	if d.Quarantined() != 1 {
+		t.Errorf("Quarantined = %d, want 1", d.Quarantined())
+	}
+	if d.Len() != 0 {
+		t.Errorf("quarantined entry still counted: Len = %d", d.Len())
+	}
+
+	// The key is writable and readable again.
+	if err := d.Write(key, res); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := d.Get(key); !ok || !reflect.DeepEqual(got, res) {
+		t.Errorf("rewritten key should hit with the fresh result")
+	}
+}
+
+func TestDiskDegradedAfterConsecutiveIOFailures(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := hexKey(0x30)
+	// A directory at the entry path makes os.ReadFile fail with a non-ENOENT
+	// error even when running as root (chmod tricks do not).
+	if err := os.MkdirAll(d.path(key), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < DegradedThreshold; i++ {
+		if h := d.Health(); h.Degraded {
+			t.Fatalf("degraded after only %d failures", i)
+		}
+		if _, ok := d.Get(key); ok {
+			t.Fatalf("unreadable entry should miss")
+		}
+	}
+	h := d.Health()
+	if !h.Degraded || h.IOFailures != DegradedThreshold {
+		t.Errorf("Health = %+v, want degraded with %d failures", h, DegradedThreshold)
+	}
+	if h.Tier != "disk" {
+		t.Errorf("Tier = %q, want disk", h.Tier)
+	}
+
+	// A plain miss (ENOENT) is not an I/O failure and must not extend the run.
+	if _, ok := d.Get(hexKey(0x31)); ok {
+		t.Fatalf("unknown key should miss")
+	}
+	if got := d.Health().IOFailures; got != DegradedThreshold {
+		t.Errorf("plain miss counted as I/O failure: %d", got)
+	}
+
+	// One successful write recovers the tier.
+	res := sampleResult(rand.New(rand.NewSource(8)))
+	if err := d.Write(hexKey(0x32), res); err != nil {
+		t.Fatal(err)
+	}
+	if h := d.Health(); h.Degraded || h.IOFailures != 0 {
+		t.Errorf("successful write should reset the failure run: %+v", h)
+	}
+}
+
+func TestOpenSweepsStaleTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sampleResult(rand.New(rand.NewSource(9)))
+	key := hexKey(0x40)
+	if err := d.Write(key, res); err != nil {
+		t.Fatal(err)
+	}
+	// Plant a stale temp file beside the entry, as a crashed writer would.
+	stale := filepath.Join(filepath.Dir(d.path(key)), ".tmp-12345")
+	if err := os.WriteFile(stale, []byte("torn write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Errorf("stale temp file survived Open, stat err = %v", err)
+	}
+	// The real entry is untouched.
+	if got, ok := d.Get(key); !ok || !reflect.DeepEqual(got, res) {
+		t.Errorf("sweep must not touch committed entries")
+	}
+}
+
+func TestOpenTieredResilientFallsBackToMemory(t *testing.T) {
+	// A FILE as the parent path makes MkdirAll fail with ENOTDIR even as
+	// root, so the disk tier cannot be created.
+	parent := filepath.Join(t.TempDir(), "blocker")
+	if err := os.WriteFile(parent, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cache, warn := OpenTieredResilient(filepath.Join(parent, "store"))
+	if warn == nil {
+		t.Fatalf("expected a warning for an unopenable store dir")
+	}
+	if cache == nil {
+		t.Fatalf("resilient open must still return a usable cache")
+	}
+	res := sampleResult(rand.New(rand.NewSource(10)))
+	key := hexKey(0x50)
+	cache.Put(key, res)
+	if got, ok := cache.Get(key); !ok || !reflect.DeepEqual(got, res) {
+		t.Errorf("memory-only fallback should round-trip results")
+	}
+
+	// The happy path still opens both tiers and reports both healths.
+	ok, warn := OpenTieredResilient(t.TempDir())
+	if warn != nil {
+		t.Fatalf("unexpected warning: %v", warn)
+	}
+	tiers := ok.Health()
+	if len(tiers) != 2 || tiers[0].Tier != "memory" || tiers[1].Tier != "disk" {
+		t.Errorf("Health tiers = %+v, want [memory disk]", tiers)
+	}
+	if ok.Degraded() {
+		t.Errorf("fresh tiered store should not be degraded")
+	}
+}
+
+func TestDiskDefectMatrix(t *testing.T) {
+	res := sampleResult(rand.New(rand.NewSource(11)))
+	valid, err := Encode(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrongSchema := bytes.Replace(valid, []byte(`"schema":2`), []byte(`"schema":1`), 1)
+
+	cases := []struct {
+		name       string
+		data       []byte // nil = plant a directory instead of a file
+		quarantine bool
+	}{
+		{"truncated envelope", valid[:len(valid)/2], true},
+		{"wrong schema", wrongSchema, true},
+		{"malformed JSON", []byte("{]"), true},
+		{"empty file", nil, true},
+		{"unreadable file", []byte("DIR"), false},
+	}
+	for i, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := hexKey(byte(0x60 + i))
+			path := d.path(key)
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if string(tc.data) == "DIR" {
+				if err := os.Mkdir(path, 0o755); err != nil {
+					t.Fatal(err)
+				}
+			} else if err := os.WriteFile(path, tc.data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := d.Get(key); ok {
+				t.Fatalf("defective entry should read as a miss")
+			}
+			if tc.quarantine {
+				if d.Quarantined() != 1 {
+					t.Errorf("Quarantined = %d, want 1", d.Quarantined())
+				}
+				if _, err := os.Stat(d.quarantinePath(key)); err != nil {
+					t.Errorf("quarantine file missing: %v", err)
+				}
+			} else if d.Quarantined() != 0 {
+				t.Errorf("unreadable (not corrupt) entry must not quarantine")
+			}
+		})
+	}
+
+	// Short and invalid keys miss without touching the filesystem.
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "short", strings.Repeat("g", 64), strings.Repeat("A", 64)} {
+		if _, ok := d.Get(key); ok {
+			t.Errorf("invalid key %q should miss", key)
+		}
+	}
+	if got := d.Health().IOFailures; got != 0 {
+		t.Errorf("invalid keys counted as I/O failures: %d", got)
+	}
+}
