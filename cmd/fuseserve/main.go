@@ -43,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"fuse/internal/cluster"
 	"fuse/internal/dram"
 	"fuse/internal/engine"
 	"fuse/internal/experiments"
@@ -64,6 +65,9 @@ func main() {
 		maxInflight = flag.Int("maxinflight", 64, "max concurrent simulation-bearing requests before 503 + Retry-After (0 = unlimited)")
 		memCap      = flag.Int("memcap", 65536, "memory cache-tier entry bound with LRU eviction (0 = unbounded)")
 		retries     = flag.Int("retries", 1, "per-job retries on transient execution failures (0 = none)")
+		coordMode   = flag.Bool("coordinator", false, "run as a fleet coordinator: shard batch jobs across registered fuseworkers (jobs run locally while none are registered)")
+		localN      = flag.Int("localworkers", 0, "coordinator mode: also spawn this many in-process workers over the loopback transport")
+		lease       = flag.Duration("lease", cluster.DefaultLease, "coordinator mode: per-job lease; a job unheartbeated this long is re-dispatched")
 	)
 	flag.Parse()
 
@@ -112,7 +116,19 @@ func main() {
 	}
 	cache := store.NewTiered(tiers...)
 
-	runner := engine.New(engine.Config{Workers: *parallel, Cache: cache, Retries: *retries})
+	// In coordinator mode the Runner's executor fans out to the fleet: the
+	// Runner still deduplicates, probes the cache and writes results
+	// through, but the simulation itself runs on whichever worker owns the
+	// job's store key. While no worker is registered the coordinator falls
+	// back to local execution, so a lone coordinator serves exactly like a
+	// single-process fuseserve.
+	engCfg := engine.Config{Workers: *parallel, Cache: cache, Retries: *retries}
+	var coord *cluster.Coordinator
+	if *coordMode {
+		coord = cluster.New(cluster.Config{Lease: *lease, Cache: cache, LocalExec: engine.Execute})
+		engCfg.Exec = coord.Execute
+	}
+	runner := engine.New(engCfg)
 	app := newServer(serverConfig{
 		scale:       scale,
 		runner:      runner,
@@ -122,6 +138,7 @@ func main() {
 		backend:     *backend,
 		simWorkers:  *simCap,
 		maxInflight: *maxInflight,
+		coord:       coord,
 	})
 
 	if *storeDir != "" {
@@ -146,6 +163,20 @@ func main() {
 	// ones get the drain deadline to finish, and a clean drain exits 0.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if coord != nil {
+		defer coord.Close()
+		if *localN > 0 {
+			fleet, err := cluster.StartFleet(ctx, coord, *localN, engine.Execute)
+			if err != nil {
+				log.Fatalf("fuseserve: starting local workers: %v", err)
+			}
+			defer fleet.Stop()
+			log.Printf("fuseserve: coordinator mode, %d in-process workers (lease %s)", *localN, *lease)
+		} else {
+			log.Printf("fuseserve: coordinator mode, waiting for fuseworkers (lease %s)", *lease)
+		}
+	}
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.ListenAndServe() }()

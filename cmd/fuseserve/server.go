@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fuse/internal/cluster"
 	"fuse/internal/config"
 	"fuse/internal/dram"
 	"fuse/internal/engine"
@@ -50,6 +51,10 @@ type server struct {
 	maxInflight int
 	// health reports cache-tier health on /healthz (nil = no tiers wired).
 	health *store.Tiered
+	// coord, when non-nil, is the fleet coordinator this server fronts
+	// (-coordinator mode): its protocol is mounted under /cluster/v1/ and
+	// its stats appear on /healthz.
+	coord *cluster.Coordinator
 
 	mux      *http.ServeMux
 	inflight atomic.Int64 // admitted simulation-bearing requests
@@ -70,6 +75,8 @@ type serverConfig struct {
 	backend     string
 	simWorkers  int
 	maxInflight int
+	// coord runs the server in coordinator mode (nil = single process).
+	coord *cluster.Coordinator
 }
 
 // newServer wires the API routes behind the panic-recovery middleware.
@@ -85,6 +92,7 @@ func newServer(cfg serverConfig) *server {
 		simWorkers:  cfg.simWorkers,
 		maxInflight: cfg.maxInflight,
 		health:      cfg.health,
+		coord:       cfg.coord,
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
@@ -93,6 +101,12 @@ func newServer(cfg serverConfig) *server {
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	if s.coord != nil {
+		// The cluster protocol (register/pull/heartbeat/result/store) rides
+		// on the same listener as the API, so a fleet needs exactly one
+		// address and the store endpoint shares the server's tiered cache.
+		mux.Handle("/cluster/v1/", s.coord.Handler())
+	}
 	s.mux = mux
 	return s
 }
@@ -151,6 +165,10 @@ type healthResponse struct {
 	HandlerPanics int64 `json:"handlerPanics"`
 	// Store is the per-tier health of the result cache, fastest first.
 	Store []store.Health `json:"store,omitempty"`
+	// Cluster is the fleet snapshot in coordinator mode: registered
+	// workers, queued/in-flight jobs, re-dispatch and steal counts, and the
+	// remote-store endpoint's hit/miss traffic.
+	Cluster *cluster.Stats `json:"cluster,omitempty"`
 }
 
 // snapshotHealth assembles the shared health body.
@@ -171,6 +189,10 @@ func (s *server) snapshotHealth() healthResponse {
 		if s.health.Degraded() {
 			h.Status = "degraded"
 		}
+	}
+	if s.coord != nil {
+		st := s.coord.Stats()
+		h.Cluster = &st
 	}
 	if h.Draining {
 		h.Status = "draining"

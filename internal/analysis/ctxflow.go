@@ -30,7 +30,7 @@ import (
 //     thread a context through, or annotate //fuselint:noctx <reason>.
 var Ctxflow = &Analyzer{
 	Name: "ctxflow",
-	Doc:  "requires context threading (Context-sibling calls, no bare sleeps, channel ops or retry loops) in engine, store, fault and fuseserve",
+	Doc:  "requires context threading (Context-sibling calls, no bare sleeps, channel ops or retry loops) in engine, store, fault, cluster, fuseserve and fuseworker",
 	Run:  runCtxflow,
 }
 
@@ -40,7 +40,9 @@ func ctxflowScope(path string) bool {
 	return strings.Contains(path, "internal/engine") ||
 		strings.Contains(path, "internal/store") ||
 		strings.Contains(path, "internal/fault") ||
+		strings.Contains(path, "internal/cluster") ||
 		strings.Contains(path, "cmd/fuseserve") ||
+		strings.Contains(path, "cmd/fuseworker") ||
 		strings.Contains(path, "testdata")
 }
 

@@ -1,0 +1,110 @@
+// Package cluster is the distributed simulation fleet: a coordinator that
+// shards simulation jobs across registered workers, and the worker loop that
+// pulls, executes and acknowledges them.
+//
+// The design reuses the repository's existing primitives instead of invent-
+// ing new ones: jobs are engine.Job values, job identity on the wire is the
+// content-addressed store key (store.Key over config + workload + options),
+// execution on a worker goes through the same fault-wrapped engine path a
+// single process uses, and results flow back into the same store.Cache tiers.
+// Determinism therefore comes for free — a simulation result is a pure
+// function of the job, so any assignment of jobs to workers (including
+// re-dispatch after a worker crash) renders byte-identical figure tables.
+//
+// Topology:
+//
+//	client ── POST /v1/batch ──▶ fuseserve (-coordinator)
+//	                               │  engine.Runner (dedup, retry, store)
+//	                               ▼  Exec = Coordinator.Execute
+//	                            Coordinator ── shard by store key (HRW)
+//	                               ▲▼ /cluster/v1/{register,pull,heartbeat,result}
+//	                            fuseworker × N (each with its own store tiers,
+//	                               plus a read-through remote tier back to the
+//	                               coordinator's /cluster/v1/store/{key})
+//
+// Sharding is highest-random-weight (rendezvous) hashing by store key, so
+// the same design point always lands on the same worker's warm disk store
+// while workers join and leave; an idle worker steals queued jobs from busy
+// peers so stragglers cannot serialise a batch. Every dispatched job carries
+// a lease: the worker renews it by heartbeat while executing, and a job whose
+// lease expires — or whose worker misses its liveness window — is
+// re-dispatched to the next owner. Duplicate executions are harmless (first
+// result wins; results are identical by construction).
+//
+// Everything speaks plain HTTP+JSON, and the Loopback transport dispatches
+// the same protocol in-process (no sockets), so the whole fleet — including
+// chaos tests that kill workers mid-batch — runs inside `go test ./...`.
+package cluster
+
+import (
+	"time"
+
+	"fuse/internal/engine"
+	"fuse/internal/sim"
+)
+
+// Protocol paths, all mounted under the coordinator's handler. fuseserve
+// serves them next to its /v1 API when -coordinator is set.
+const (
+	pathRegister  = "/cluster/v1/register"
+	pathPull      = "/cluster/v1/pull"
+	pathHeartbeat = "/cluster/v1/heartbeat"
+	pathResult    = "/cluster/v1/result"
+	// PathStore is the coordinator's result-store endpoint: GET serves the
+	// envelope of a stored result, PUT accepts one. store.NewRemote pointed
+	// here turns the coordinator's cache into every worker's shared tier.
+	PathStore = "/cluster/v1/store"
+)
+
+// Task is one dispatched job on the wire. ID is the coordinator's dispatch
+// identity (unique per submission); Key is the job's content-addressed store
+// key, which is also its shard identity.
+type Task struct {
+	ID  uint64     `json:"id"`
+	Key string     `json:"key"`
+	Job engine.Job `json:"job"`
+}
+
+// registerRequest announces a worker. Re-registering an existing ID resets
+// its liveness and abandons any earlier incarnation's queue.
+type registerRequest struct {
+	Worker string `json:"worker"`
+}
+
+// registerResponse hands the worker its operating intervals: how long a
+// pull long-polls before returning empty, how often to heartbeat while
+// executing, and the lease the coordinator holds per dispatched task.
+type registerResponse struct {
+	LeaseMillis     int64 `json:"leaseMillis"`
+	PollMillis      int64 `json:"pollMillis"`
+	HeartbeatMillis int64 `json:"heartbeatMillis"`
+}
+
+// pullRequest asks for one task; the coordinator long-polls up to its poll
+// timeout before answering 204 No Content.
+type pullRequest struct {
+	Worker string `json:"worker"`
+}
+
+// heartbeatRequest renews the worker's liveness and the leases of the tasks
+// it is still executing.
+type heartbeatRequest struct {
+	Worker string   `json:"worker"`
+	Tasks  []uint64 `json:"tasks"`
+}
+
+// resultRequest reports one finished task — result or error — and doubles as
+// the acknowledgement that retires its lease.
+type resultRequest struct {
+	Worker string      `json:"worker"`
+	Task   uint64      `json:"task"`
+	Result *sim.Result `json:"result,omitempty"`
+	Error  string      `json:"error,omitempty"`
+}
+
+// Default coordinator intervals (see Config).
+const (
+	DefaultLease       = 15 * time.Second
+	DefaultPollTimeout = 2 * time.Second
+	DefaultMaxAttempts = 3
+)

@@ -1,0 +1,433 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fuse/internal/engine"
+	"fuse/internal/experiments"
+	"fuse/internal/sim"
+	"fuse/internal/store"
+)
+
+// testWorkloads is the figure-matrix subset the cluster tests render: small
+// enough to keep `go test` fast, two workloads so sharding has something to
+// spread.
+var testWorkloads = []string{"ATAX", "GEMM"}
+
+// refFig13 renders the single-process reference table for Fig 13 at quick
+// scale — the bytes every cluster execution must reproduce.
+func refFig13(t *testing.T) string {
+	t.Helper()
+	runner := engine.New(engine.Config{})
+	matrix := experiments.NewMatrixRunner(experiments.QuickScale, runner)
+	table, err := experiments.RunContext(context.Background(), matrix, experiments.ExpFig13, testWorkloads)
+	if err != nil {
+		t.Fatalf("reference fig13: %v", err)
+	}
+	return table.String()
+}
+
+// fleetFig13 renders the same table through a coordinator + n loopback
+// workers and returns the bytes plus the coordinator stats.
+func fleetFig13(t *testing.T, n int) (string, Stats) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	coord := New(Config{})
+	defer coord.Close()
+	fleet, err := StartFleet(ctx, coord, n, engine.Execute)
+	if err != nil {
+		t.Fatalf("starting fleet: %v", err)
+	}
+	defer fleet.Stop()
+
+	runner := engine.New(engine.Config{Exec: coord.Execute})
+	matrix := experiments.NewMatrixRunner(experiments.QuickScale, runner)
+	table, err := experiments.RunContext(ctx, matrix, experiments.ExpFig13, testWorkloads)
+	if err != nil {
+		t.Fatalf("fleet fig13 (%d workers): %v", n, err)
+	}
+	return table.String(), coord.Stats()
+}
+
+// TestFleetMatrixByteIdentical is the tentpole acceptance test: the Fig 13
+// matrix executed via coordinator + N in-process workers renders exactly the
+// single-process bytes for N ∈ {1, 2, 4}, and the jobs really did travel
+// through the fleet.
+func TestFleetMatrixByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full quick-scale simulations")
+	}
+	ref := refFig13(t)
+	for _, n := range []int{1, 2, 4} {
+		got, stats := fleetFig13(t, n)
+		if got != ref {
+			t.Errorf("%d workers: table differs from single-process run\nref:\n%s\ngot:\n%s", n, ref, got)
+		}
+		if stats.Dispatched == 0 {
+			t.Errorf("%d workers: no dispatches recorded — jobs did not go through the fleet", n)
+		}
+		if stats.LocalRuns != 0 {
+			t.Errorf("%d workers: %d jobs fell back to local execution", n, stats.LocalRuns)
+		}
+		if stats.Completed == 0 {
+			t.Errorf("%d workers: no completions recorded", n)
+		}
+	}
+}
+
+// countingExec wraps engine.Execute and counts real simulations.
+func countingExec(n *atomic.Int64) engine.ExecFunc {
+	return func(ctx context.Context, job engine.Job) (sim.Result, error) {
+		n.Add(1)
+		return engine.Execute(ctx, job)
+	}
+}
+
+// workerExec builds a worker-side executor the way cmd/fuseworker does: a
+// full engine.Runner over a local memory tier plus the coordinator's remote
+// store tier, executing through exec.
+func workerExec(coord *Coordinator, exec engine.ExecFunc) engine.ExecFunc {
+	remote := store.NewRemote(LoopbackBase+PathStore, LoopbackClient(coord.Handler()))
+	cache := store.NewTiered(store.NewMemory(), remote)
+	runner := engine.New(engine.Config{Workers: 1, Cache: cache, Exec: exec})
+	return runner.Get
+}
+
+// TestFleetWarmRerunExecutesNothing proves the remote store tier closes the
+// loop: after a cold fleet run populates the coordinator's cache, a
+// completely fresh fleet (fresh coordinator, fresh workers, fresh front-end
+// runner, empty local caches) sharing only that cache serves the same matrix
+// with zero simulations — every job resolves through the workers' remote
+// tier.
+func TestFleetWarmRerunExecutesNothing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full quick-scale simulations")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	shared := store.NewMemory() // the coordinator-side store both phases share
+
+	run := func(phase string) (string, int64, Stats) {
+		var sims atomic.Int64
+		coord := New(Config{Cache: shared})
+		defer coord.Close()
+		fleet, err := StartFleet(ctx, coord, 2, workerExec(coord, countingExec(&sims)))
+		if err != nil {
+			t.Fatalf("%s: starting fleet: %v", phase, err)
+		}
+		defer fleet.Stop()
+		runner := engine.New(engine.Config{Exec: coord.Execute})
+		matrix := experiments.NewMatrixRunner(experiments.QuickScale, runner)
+		table, err := experiments.RunContext(ctx, matrix, experiments.ExpFig13, testWorkloads)
+		if err != nil {
+			t.Fatalf("%s: fig13: %v", phase, err)
+		}
+		return table.String(), sims.Load(), coord.Stats()
+	}
+
+	cold, coldSims, coldStats := run("cold")
+	if coldSims == 0 {
+		t.Fatalf("cold run executed no simulations")
+	}
+	if coldStats.StorePuts == 0 {
+		t.Fatalf("cold run wrote nothing through the remote store endpoint")
+	}
+
+	warm, warmSims, warmStats := run("warm")
+	if warm != cold {
+		t.Errorf("warm table differs from cold table")
+	}
+	if warmSims != 0 {
+		t.Errorf("warm rerun executed %d simulations, want 0 (remote tier should have served them all)", warmSims)
+	}
+	if warmStats.StoreHits == 0 {
+		t.Errorf("warm rerun recorded no remote-store hits")
+	}
+}
+
+// testJob is a small job for protocol-level tests.
+func testJob(workload string) engine.Job {
+	opts := experiments.QuickScale.Options()
+	return engine.Job{Kind: 0, Workload: workload, Opts: opts}
+}
+
+// TestLocalFallback: with no workers registered and a LocalExec configured,
+// Execute runs the job in-process and the result matches direct execution.
+func TestLocalFallback(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	coord := New(Config{LocalExec: engine.Execute})
+	defer coord.Close()
+
+	job := testJob("ATAX")
+	got, err := coord.Execute(ctx, job)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	want, err := engine.Execute(ctx, job)
+	if err != nil {
+		t.Fatalf("direct Execute: %v", err)
+	}
+	if got != want {
+		t.Errorf("local fallback result differs from direct execution")
+	}
+	if s := coord.Stats(); s.LocalRuns != 1 {
+		t.Errorf("LocalRuns = %d, want 1", s.LocalRuns)
+	}
+}
+
+// TestUnassignedDrainsOnRegister: a job submitted while no worker is alive
+// (and no local fallback exists) parks, then completes as soon as the first
+// worker registers.
+func TestUnassignedDrainsOnRegister(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	coord := New(Config{})
+	defer coord.Close()
+
+	type outcome struct {
+		res sim.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := coord.Execute(ctx, testJob("ATAX"))
+		done <- outcome{res, err}
+	}()
+
+	// Give the submission time to park unassigned, then bring up a worker.
+	time.Sleep(50 * time.Millisecond)
+	if s := coord.Stats(); s.Queued != 1 {
+		t.Fatalf("Queued = %d before any worker, want 1", s.Queued)
+	}
+	fleet, err := StartFleet(ctx, coord, 1, engine.Execute)
+	if err != nil {
+		t.Fatalf("starting fleet: %v", err)
+	}
+	defer fleet.Stop()
+
+	select {
+	case out := <-done:
+		if out.err != nil {
+			t.Fatalf("Execute: %v", out.err)
+		}
+	case <-ctx.Done():
+		t.Fatalf("job never completed after worker registration")
+	}
+}
+
+// TestExecuteCancellation: cancelling the submitting context unblocks
+// Execute with ctx.Err() even when no worker will ever serve the job.
+func TestExecuteCancellation(t *testing.T) {
+	coord := New(Config{})
+	defer coord.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := coord.Execute(ctx, testJob("ATAX"))
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Execute returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("Execute did not unblock on cancellation")
+	}
+}
+
+// TestClosedCoordinator: Close fails pending submissions with ErrClosed and
+// rejects new ones.
+func TestClosedCoordinator(t *testing.T) {
+	coord := New(Config{})
+	ctx := context.Background()
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := coord.Execute(ctx, testJob("ATAX"))
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	coord.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("pending Execute returned %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("pending Execute did not unblock on Close")
+	}
+	if _, err := coord.Execute(ctx, testJob("GEMM")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Execute after Close returned %v, want ErrClosed", err)
+	}
+}
+
+// TestLeaseExpiryRedispatch: a worker that pulls a job and goes silent (no
+// heartbeat, no result) loses its lease, and the job is re-dispatched to a
+// live worker that completes it.
+func TestLeaseExpiryRedispatch(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	coord := New(Config{Lease: 150 * time.Millisecond, PollTimeout: 100 * time.Millisecond})
+	defer coord.Close()
+	client := LoopbackClient(coord.Handler())
+
+	// The silent worker registers and pulls by hand, then never acks.
+	dead, err := NewWorker(WorkerConfig{Coordinator: LoopbackBase, Client: client, ID: "dead", Exec: engine.Execute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dead.register(ctx); err != nil {
+		t.Fatalf("registering dead worker: %v", err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := coord.Execute(ctx, testJob("ATAX"))
+		done <- err
+	}()
+
+	// Pull until the task lands on the silent worker, then sit on it.
+	var got *Task
+	for got == nil {
+		if ctx.Err() != nil {
+			t.Fatalf("task never dispatched to the silent worker")
+		}
+		got, _, err = dead.pull(ctx)
+		if err != nil {
+			t.Fatalf("pull: %v", err)
+		}
+	}
+
+	// Now bring up a live worker; the lease expires and the job re-lands.
+	fleet, err := StartFleet(ctx, coord, 1, engine.Execute)
+	if err != nil {
+		t.Fatalf("starting live worker: %v", err)
+	}
+	defer fleet.Stop()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Execute: %v", err)
+		}
+	case <-ctx.Done():
+		t.Fatalf("job never completed after lease expiry")
+	}
+	if s := coord.Stats(); s.Redispatched == 0 {
+		t.Errorf("Redispatched = 0, want ≥ 1 (lease-expiry path not exercised)")
+	}
+}
+
+// TestWorkStealing: with one worker wedged on a long job and a backlog in
+// its queue, an idle second worker steals the queued jobs instead of
+// letting the straggler serialise the batch.
+func TestWorkStealing(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	coord := New(Config{})
+	defer coord.Close()
+	client := LoopbackClient(coord.Handler())
+
+	gate := make(chan struct{})
+	var gated atomic.Int64
+	slowExec := func(ctx context.Context, job engine.Job) (sim.Result, error) {
+		if gated.Add(1) == 1 {
+			<-gate // wedge the first job until the test releases it
+		}
+		return engine.Execute(ctx, job)
+	}
+	w1, err := NewWorker(WorkerConfig{Coordinator: LoopbackBase, Client: client, ID: "w1", Exec: slowExec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1done := make(chan struct{})
+	w1ctx, w1cancel := context.WithCancel(ctx)
+	defer w1cancel()
+	go func() { defer close(w1done); _ = w1.Run(w1ctx) }()
+
+	// Submit several distinct jobs; all shard to w1 (the only worker), which
+	// wedges on the first and queues the rest.
+	workloads := []string{"ATAX", "GEMM", "BICG", "MVT"}
+	done := make(chan error, len(workloads))
+	for _, wl := range workloads {
+		job := testJob(wl)
+		go func() {
+			_, err := coord.Execute(ctx, job)
+			done <- err
+		}()
+	}
+	for coord.Stats().InFlight == 0 {
+		if ctx.Err() != nil {
+			t.Fatalf("w1 never picked up a job")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// An idle second worker must steal the backlog.
+	fleet, err := StartFleet(ctx, coord, 1, engine.Execute)
+	if err != nil {
+		t.Fatalf("starting stealing worker: %v", err)
+	}
+	defer fleet.Stop()
+
+	for i := 0; i < len(workloads)-1; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("stolen job failed: %v", err)
+			}
+		case <-ctx.Done():
+			t.Fatalf("stolen jobs never completed while w1 was wedged")
+		}
+	}
+	if s := coord.Stats(); s.Stolen == 0 {
+		t.Errorf("Stolen = 0, want ≥ 1 (idle worker did not steal)")
+	}
+
+	close(gate) // release the wedged job
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("wedged job failed: %v", err)
+		}
+	case <-ctx.Done():
+		t.Fatalf("wedged job never completed after release")
+	}
+	w1cancel()
+	<-w1done
+}
+
+// TestHRWSharding: the same key always picks the same owner for a fixed
+// worker set, and keys spread across workers.
+func TestHRWSharding(t *testing.T) {
+	coord := New(Config{})
+	defer coord.Close()
+	coord.mu.Lock()
+	for _, id := range []string{"w1", "w2", "w3"} {
+		coord.workers[id] = &workerState{id: id, inflight: map[uint64]*task{}}
+	}
+	owners := map[string]int{}
+	keys := []string{"k1", "k2", "k3", "k4", "k5", "k6", "k7", "k8", "k9", "k10"}
+	for _, k := range keys {
+		o1 := coord.ownerForLocked(k, "")
+		o2 := coord.ownerForLocked(k, "")
+		if o1 != o2 {
+			t.Errorf("key %s: owner not stable (%s then %s)", k, o1, o2)
+		}
+		owners[o1]++
+	}
+	coord.mu.Unlock()
+	if len(owners) < 2 {
+		t.Errorf("10 keys all landed on one worker: %v (degenerate sharding)", owners)
+	}
+}

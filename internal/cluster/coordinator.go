@@ -1,0 +1,891 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"fuse/internal/engine"
+	"fuse/internal/sim"
+	"fuse/internal/store"
+)
+
+// Config configures a Coordinator. The zero value is valid: default
+// intervals, no store endpoint, no local fallback.
+type Config struct {
+	// Lease is how long a dispatched task may go without a heartbeat or a
+	// result before it is re-dispatched. Zero means DefaultLease.
+	Lease time.Duration
+	// PollTimeout is how long a pull long-polls for a task before answering
+	// 204. Zero means DefaultPollTimeout.
+	PollTimeout time.Duration
+	// Heartbeat is the interval advertised to workers for renewing leases
+	// while executing. Zero means Lease/3.
+	Heartbeat time.Duration
+	// Liveness is how long a worker may go without any contact (pull,
+	// heartbeat, result) before it is declared lost and its jobs are
+	// re-dispatched. Zero means 2×Lease.
+	Liveness time.Duration
+	// MaxAttempts bounds the dispatch attempts per task (first dispatch
+	// plus re-dispatches); a task exceeding it fails with an error instead
+	// of cycling forever. Zero means DefaultMaxAttempts.
+	MaxAttempts int
+	// Cache, when non-nil, backs the /cluster/v1/store/{key} endpoint that
+	// workers mount as their remote read-through tier. Point it at the same
+	// tiered cache the serving Runner writes through, and every result any
+	// node computes becomes visible to every other node.
+	Cache store.Cache
+	// LocalExec, when non-nil, executes jobs in-process while no worker is
+	// registered, so a lone coordinator still serves traffic. When nil,
+	// submissions wait (context-cancellably) for a worker to arrive.
+	LocalExec engine.ExecFunc
+}
+
+// withDefaults resolves the zero fields.
+func (cfg Config) withDefaults() Config {
+	if cfg.Lease <= 0 {
+		cfg.Lease = DefaultLease
+	}
+	if cfg.PollTimeout <= 0 {
+		cfg.PollTimeout = DefaultPollTimeout
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = cfg.Lease / 3
+	}
+	if cfg.Liveness <= 0 {
+		cfg.Liveness = 2 * cfg.Lease
+	}
+	// An idle worker parks inside a long poll for a full PollTimeout between
+	// liveness resets; the horizon must clear that park (plus a round trip)
+	// or idle workers flap between lost and re-registered.
+	if floor := 2 * cfg.PollTimeout; cfg.Liveness < floor {
+		cfg.Liveness = floor
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = DefaultMaxAttempts
+	}
+	return cfg
+}
+
+// ErrClosed is returned by Execute when the coordinator has been closed.
+var ErrClosed = errors.New("cluster: coordinator closed")
+
+// taskState is the lifecycle of a dispatched job.
+type taskState int
+
+const (
+	taskQueued   taskState = iota // in a worker's queue or unassigned
+	taskInflight                  // pulled by a worker, lease armed
+	taskDone                      // outcome delivered (or abandoned)
+)
+
+// taskOutcome is a completed task's result or error.
+type taskOutcome struct {
+	res sim.Result
+	err error
+}
+
+// task is one submitted job and its dispatch state. The guarded fields are
+// protected by the coordinator's mutex.
+type task struct {
+	id   uint64
+	key  string
+	job  engine.Job
+	done chan taskOutcome // buffered 1; receives exactly one outcome
+	// submittedCtx is the submitting request's context (set once at submit,
+	// read-only after); the local fallback executes under it so cancelling
+	// the batch cancels the simulation.
+	submittedCtx context.Context
+
+	state    taskState
+	owner    string // worker currently holding the lease ("" if queued)
+	attempts int    // dispatch attempts so far
+	seq      uint64 // bumped per dispatch/renewal; guards stale lease expiry
+	lease    *time.Timer
+}
+
+// workerState is one registered worker.
+type workerState struct {
+	id         string
+	generation uint64 // bumped per (re)register; guards stale liveness timers
+	queue      []*task
+	inflight   map[uint64]*task
+	waiters    []chan struct{} // parked pulls awaiting work, each buffered 1
+	liveness   *time.Timer
+	gone       bool
+}
+
+// Coordinator accepts jobs, shards them across registered workers by store
+// key, re-dispatches on worker loss or lease expiry, and serves the shared
+// store endpoint. It is an engine executor: plug Execute into
+// engine.Config.Exec and the Runner's dedup, retry and store write-through
+// machinery front a whole fleet instead of a local simulator.
+type Coordinator struct {
+	cfg Config
+	mux *http.ServeMux
+
+	mu         sync.Mutex
+	closed     bool
+	workers    map[string]*workerState
+	tasks      map[uint64]*task
+	unassigned []*task // submitted while no worker was alive
+	nextID     uint64
+
+	// Counters (guarded by mu), snapshotted by Stats.
+	dispatched   int64
+	redispatched int64
+	stolen       int64
+	completed    int64
+	failed       int64
+	localRuns    int64
+	workersEver  int64
+	workersLost  int64
+	storeGetHits int64
+	storeGetMiss int64
+	storePuts    int64
+}
+
+// New creates a Coordinator.
+func New(cfg Config) *Coordinator {
+	c := &Coordinator{
+		cfg:     cfg.withDefaults(),
+		workers: make(map[string]*workerState),
+		tasks:   make(map[uint64]*task),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+pathRegister, c.handleRegister)
+	mux.HandleFunc("POST "+pathPull, c.handlePull)
+	mux.HandleFunc("POST "+pathHeartbeat, c.handleHeartbeat)
+	mux.HandleFunc("POST "+pathResult, c.handleResult)
+	mux.HandleFunc("GET "+PathStore+"/{key}", c.handleStoreGet)
+	mux.HandleFunc("PUT "+PathStore+"/{key}", c.handleStorePut)
+	c.mux = mux
+	return c
+}
+
+// Handler returns the coordinator's HTTP handler (the /cluster/v1/* routes).
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Stats is a point-in-time snapshot of the fleet, surfaced by fuseserve's
+// /healthz in coordinator mode.
+type Stats struct {
+	// Workers is the number of currently registered (live) workers.
+	Workers int `json:"workers"`
+	// WorkersEver and WorkersLost count registrations and liveness losses.
+	WorkersEver int64 `json:"workersEver"`
+	WorkersLost int64 `json:"workersLost"`
+	// Queued and InFlight are the jobs currently waiting and leased.
+	Queued   int `json:"queued"`
+	InFlight int `json:"inFlight"`
+	// Dispatched counts task handoffs to workers; Redispatched counts the
+	// subset re-dispatched after a lease expiry or worker loss; Stolen
+	// counts pulls served from another worker's queue.
+	Dispatched   int64 `json:"dispatched"`
+	Redispatched int64 `json:"redispatched"`
+	Stolen       int64 `json:"stolen"`
+	// Completed and Failed count delivered outcomes; LocalRuns counts jobs
+	// executed by the local fallback because no worker was registered.
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	LocalRuns int64 `json:"localRuns"`
+	// Remote-store endpoint traffic (the workers' shared tier).
+	StoreHits   int64 `json:"remoteStoreHits"`
+	StoreMisses int64 `json:"remoteStoreMisses"`
+	StorePuts   int64 `json:"remoteStorePuts"`
+}
+
+// Stats snapshots the coordinator.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Stats{
+		Workers:      len(c.workers),
+		WorkersEver:  c.workersEver,
+		WorkersLost:  c.workersLost,
+		Dispatched:   c.dispatched,
+		Redispatched: c.redispatched,
+		Stolen:       c.stolen,
+		Completed:    c.completed,
+		Failed:       c.failed,
+		LocalRuns:    c.localRuns,
+		StoreHits:    c.storeGetHits,
+		StoreMisses:  c.storeGetMiss,
+		StorePuts:    c.storePuts,
+	}
+	queued, inflight := 0, 0
+	//fuselint:ordered order-insensitive count of task states
+	for _, t := range c.tasks {
+		switch t.state {
+		case taskQueued:
+			queued++
+		case taskInflight:
+			inflight++
+		}
+	}
+	s.Queued, s.InFlight = queued, inflight
+	return s
+}
+
+// action is deferred work a locked section hands back to its caller: channel
+// sends and goroutine spawns happen strictly after the mutex is released.
+type action struct {
+	wake    chan struct{} // signal one parked pull
+	deliver *task         // send out on deliver.done
+	out     taskOutcome
+	local   *task // execute via the LocalExec fallback
+}
+
+// perform runs deferred actions. Sends never block: wake channels and done
+// channels are buffered size 1 and signalled at most once.
+func (c *Coordinator) perform(acts []action) {
+	for _, a := range acts {
+		if a.wake != nil {
+			a.wake <- struct{}{}
+		}
+		if a.deliver != nil {
+			a.deliver.done <- a.out
+		}
+		if a.local != nil {
+			go c.runLocal(a.local)
+		}
+	}
+}
+
+// runLocal executes a task through the LocalExec fallback and completes it.
+func (c *Coordinator) runLocal(t *task) {
+	res, err := c.cfg.LocalExec(t.submittedCtx, t.job)
+	c.mu.Lock()
+	acts := c.completeLocked(t, taskOutcome{res: res, err: err})
+	c.mu.Unlock()
+	c.perform(acts)
+}
+
+// Execute runs one job on the fleet: sharded to its owner worker, stolen by
+// an idle one, or executed by the LocalExec fallback when no worker is
+// registered. It blocks until the job completes, fails its attempt budget,
+// or ctx is cancelled. It is an engine.ExecFunc.
+//
+//fuselint:blocking waits for a worker (or the local fallback) to finish the job
+func (c *Coordinator) Execute(ctx context.Context, job engine.Job) (sim.Result, error) {
+	key, err := engine.StoreKey(job)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	t, local, err := c.submit(ctx, key, job)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	if local {
+		return c.cfg.LocalExec(ctx, job)
+	}
+	select {
+	case out := <-t.done:
+		return out.res, out.err
+	case <-ctx.Done():
+		c.abandon(t)
+		return sim.Result{}, ctx.Err()
+	}
+}
+
+// submit registers a new task. It reports local=true when the caller should
+// run the job itself via LocalExec (no worker registered).
+func (c *Coordinator) submit(ctx context.Context, key string, job engine.Job) (t *task, local bool, err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, false, ErrClosed
+	}
+	if len(c.workers) == 0 && c.cfg.LocalExec != nil {
+		c.localRuns++
+		c.mu.Unlock()
+		return nil, true, nil
+	}
+	c.nextID++
+	t = &task{
+		id:           c.nextID,
+		key:          key,
+		job:          job,
+		done:         make(chan taskOutcome, 1),
+		submittedCtx: ctx,
+	}
+	c.tasks[t.id] = t
+	var acts []action
+	if len(c.workers) == 0 {
+		c.unassigned = append(c.unassigned, t)
+	} else {
+		acts = c.enqueueLocked(t, "")
+	}
+	c.mu.Unlock()
+	c.perform(acts)
+	return t, false, nil
+}
+
+// abandon retires a task whose submitter gave up (context cancelled). A
+// worker may still be executing it; its eventual result is ignored.
+func (c *Coordinator) abandon(t *task) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.state == taskDone {
+		return
+	}
+	t.state = taskDone
+	stopLease(t)
+	delete(c.tasks, t.id)
+}
+
+// stopLease stops and clears a task's lease timer (mu held).
+func stopLease(t *task) {
+	if t.lease != nil {
+		t.lease.Stop()
+		t.lease = nil
+	}
+}
+
+// aliveIDs returns the registered worker IDs in sorted order (mu held).
+func (c *Coordinator) aliveIDs() []string {
+	ids := make([]string, 0, len(c.workers))
+	for id := range c.workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// hrwScore is the rendezvous-hashing weight of (worker, key): the worker
+// with the highest score owns the key. FNV-64a over both strings, mixed
+// through a splitmix64 finaliser for uniformity.
+func hrwScore(workerID, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(workerID))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ownerForLocked picks the key's shard owner among live workers, skipping
+// exclude when an alternative exists (mu held; requires ≥1 worker).
+func (c *Coordinator) ownerForLocked(key, exclude string) string {
+	best, bestScore := "", uint64(0)
+	for _, id := range c.aliveIDs() {
+		if id == exclude && len(c.workers) > 1 {
+			continue
+		}
+		if s := hrwScore(id, key); best == "" || s > bestScore {
+			best, bestScore = id, s
+		}
+	}
+	return best
+}
+
+// enqueueLocked queues a task on its shard owner (skipping exclude) and
+// picks one parked pull to wake: the owner's own, or — so an idle worker
+// picks up work for a busy peer immediately — any other worker's (mu held).
+func (c *Coordinator) enqueueLocked(t *task, exclude string) []action {
+	owner := c.ownerForLocked(t.key, exclude)
+	w := c.workers[owner]
+	t.state = taskQueued
+	t.owner = ""
+	w.queue = append(w.queue, t)
+	if len(w.waiters) > 0 {
+		wake := w.waiters[0]
+		w.waiters = w.waiters[1:]
+		return []action{{wake: wake}}
+	}
+	for _, id := range c.aliveIDs() {
+		other := c.workers[id]
+		if len(other.waiters) > 0 {
+			wake := other.waiters[0]
+			other.waiters = other.waiters[1:]
+			return []action{{wake: wake}}
+		}
+	}
+	return nil
+}
+
+// completeLocked delivers a task's outcome exactly once (mu held).
+func (c *Coordinator) completeLocked(t *task, out taskOutcome) []action {
+	if t.state == taskDone {
+		return nil
+	}
+	if w := c.workers[t.owner]; w != nil {
+		delete(w.inflight, t.id)
+	}
+	t.state = taskDone
+	stopLease(t)
+	delete(c.tasks, t.id)
+	if out.err != nil {
+		c.failed++
+	} else {
+		c.completed++
+	}
+	return []action{{deliver: t, out: out}}
+}
+
+// requeueLocked puts a task back in play after a lease expiry or worker
+// loss: back on a (preferably different) owner's queue, to the local
+// fallback when the fleet is empty, or failed outright once its dispatch
+// attempts are spent (mu held).
+func (c *Coordinator) requeueLocked(t *task, lastOwner string) []action {
+	if t.state == taskDone {
+		return nil
+	}
+	if t.attempts >= c.cfg.MaxAttempts {
+		err := fmt.Errorf("cluster: job %s (task %d) failed after %d dispatch attempts", t.job, t.id, t.attempts)
+		return c.completeLocked(t, taskOutcome{err: err})
+	}
+	if len(c.workers) == 0 {
+		if c.cfg.LocalExec != nil {
+			c.localRuns++
+			t.state = taskInflight
+			t.owner = ""
+			return []action{{local: t}}
+		}
+		t.state = taskQueued
+		t.owner = ""
+		c.unassigned = append(c.unassigned, t)
+		return nil
+	}
+	return c.enqueueLocked(t, lastOwner)
+}
+
+// dispatchLocked hands a queued task to a worker: leased, counted, and
+// guarded against stale expiry by the dispatch sequence number (mu held).
+func (c *Coordinator) dispatchLocked(t *task, w *workerState) {
+	t.state = taskInflight
+	t.owner = w.id
+	t.attempts++
+	t.seq++
+	seq := t.seq
+	id := t.id
+	w.inflight[t.id] = t
+	stopLease(t)
+	t.lease = time.AfterFunc(c.cfg.Lease, func() { c.expireLease(id, seq) })
+	c.dispatched++
+}
+
+// expireLease re-dispatches a task whose lease ran out without a heartbeat
+// or a result. The sequence number ignores stale timers from earlier
+// dispatches of the same task.
+func (c *Coordinator) expireLease(id, seq uint64) {
+	c.mu.Lock()
+	t := c.tasks[id]
+	if t == nil || t.state != taskInflight || t.seq != seq {
+		c.mu.Unlock()
+		return
+	}
+	lastOwner := t.owner
+	if w := c.workers[lastOwner]; w != nil {
+		delete(w.inflight, t.id)
+	}
+	c.redispatched++
+	acts := c.requeueLocked(t, lastOwner)
+	c.mu.Unlock()
+	c.perform(acts)
+}
+
+// renewLeaseLocked restarts a task's lease under a fresh sequence number,
+// so an already-fired (but not yet run) expiry is ignored (mu held).
+func (c *Coordinator) renewLeaseLocked(t *task) {
+	t.seq++
+	seq := t.seq
+	id := t.id
+	stopLease(t)
+	t.lease = time.AfterFunc(c.cfg.Lease, func() { c.expireLease(id, seq) })
+}
+
+// resetLivenessLocked pushes the worker's liveness horizon out (mu held).
+func (c *Coordinator) resetLivenessLocked(w *workerState) {
+	if w.liveness != nil {
+		w.liveness.Stop()
+	}
+	gen := w.generation
+	id := w.id
+	w.liveness = time.AfterFunc(c.cfg.Liveness, func() { c.workerLost(id, gen) })
+}
+
+// workerLost removes a worker that missed its liveness window and puts every
+// job it held back in play.
+func (c *Coordinator) workerLost(id string, gen uint64) {
+	c.mu.Lock()
+	w := c.workers[id]
+	if w == nil || w.generation != gen || w.gone {
+		c.mu.Unlock()
+		return
+	}
+	w.gone = true
+	if w.liveness != nil {
+		w.liveness.Stop()
+	}
+	delete(c.workers, id)
+	c.workersLost++
+	var acts []action
+	// Queued jobs re-shard silently; leased ones count as re-dispatches.
+	for _, t := range w.queue {
+		if t.state == taskQueued {
+			acts = append(acts, c.requeueLocked(t, id)...)
+		}
+	}
+	ids := make([]uint64, 0, len(w.inflight))
+	for tid := range w.inflight {
+		ids = append(ids, tid)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, tid := range ids {
+		t := w.inflight[tid]
+		if t.state != taskInflight || t.owner != id {
+			continue
+		}
+		c.redispatched++
+		acts = append(acts, c.requeueLocked(t, id)...)
+	}
+	c.mu.Unlock()
+	c.perform(acts)
+}
+
+// Close shuts the coordinator down: pending tasks fail with ErrClosed,
+// timers stop, and every endpoint answers 503. Safe to call more than once.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	var acts []action
+	ids := make([]uint64, 0, len(c.tasks))
+	for id := range c.tasks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		acts = append(acts, c.completeLocked(c.tasks[id], taskOutcome{err: ErrClosed})...)
+	}
+	//fuselint:ordered order-insensitive timer teardown
+	for _, w := range c.workers {
+		if w.liveness != nil {
+			w.liveness.Stop()
+		}
+	}
+	c.mu.Unlock()
+	c.perform(acts)
+}
+
+// --- HTTP handlers -------------------------------------------------------
+
+// handleRegister admits (or refreshes) a worker and drains any jobs that
+// were submitted while the fleet was empty.
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	if req.Worker == "" {
+		httpError(w, http.StatusBadRequest, "empty worker id")
+		return
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "coordinator closed")
+		return
+	}
+	ws := c.workers[req.Worker]
+	if ws == nil {
+		ws = &workerState{id: req.Worker, inflight: make(map[uint64]*task)}
+		c.workers[req.Worker] = ws
+		c.workersEver++
+	}
+	ws.generation++
+	ws.gone = false
+	c.resetLivenessLocked(ws)
+	var acts []action
+	pending := c.unassigned
+	c.unassigned = nil
+	for _, t := range pending {
+		if t.state == taskQueued {
+			acts = append(acts, c.enqueueLocked(t, "")...)
+		}
+	}
+	c.mu.Unlock()
+	c.perform(acts)
+	writeJSON(w, http.StatusOK, registerResponse{
+		LeaseMillis:     c.cfg.Lease.Milliseconds(),
+		PollMillis:      c.cfg.PollTimeout.Milliseconds(),
+		HeartbeatMillis: c.cfg.Heartbeat.Milliseconds(),
+	})
+}
+
+// takeOrPark serves one pull attempt: a task from the worker's own queue, a
+// stolen one from the most backlogged peer, or a parked waiter channel to
+// wait on. unknown=true means the worker must re-register.
+func (c *Coordinator) takeOrPark(workerID string) (wire *Task, wait chan struct{}, unknown bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.workers[workerID]
+	if w == nil || w.gone || c.closed {
+		return nil, nil, true
+	}
+	c.resetLivenessLocked(w)
+	t := popQueueLocked(w)
+	if t == nil {
+		if victim := c.longestQueueLocked(workerID); victim != nil {
+			if t = popQueueLocked(victim); t != nil {
+				c.stolen++
+			}
+		}
+	}
+	if t != nil {
+		c.dispatchLocked(t, w)
+		return &Task{ID: t.id, Key: t.key, Job: t.job}, nil, false
+	}
+	ch := make(chan struct{}, 1)
+	w.waiters = append(w.waiters, ch)
+	return nil, ch, false
+}
+
+// popQueueLocked pops the oldest still-queued task, dropping entries that
+// completed or were abandoned while waiting (mu held).
+func popQueueLocked(w *workerState) *task {
+	for len(w.queue) > 0 {
+		t := w.queue[0]
+		w.queue = w.queue[1:]
+		if t.state == taskQueued {
+			return t
+		}
+	}
+	return nil
+}
+
+// longestQueueLocked finds the steal victim: the worker with the deepest
+// queue of still-queued tasks, ties broken by smallest ID (mu held).
+func (c *Coordinator) longestQueueLocked(except string) *workerState {
+	var victim *workerState
+	depth := 0
+	for _, id := range c.aliveIDs() {
+		if id == except {
+			continue
+		}
+		w := c.workers[id]
+		n := 0
+		for _, t := range w.queue {
+			if t.state == taskQueued {
+				n++
+			}
+		}
+		if n > depth {
+			victim, depth = w, n
+		}
+	}
+	return victim
+}
+
+// dropWaiter removes a parked pull's wake channel after a timeout or a
+// client disconnect; a signal that already consumed the waiter is harmless
+// (the task stays queued for the worker's next pull).
+func (c *Coordinator) dropWaiter(workerID string, ch chan struct{}) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.workers[workerID]
+	if w == nil {
+		return
+	}
+	for i, have := range w.waiters {
+		if have == ch {
+			w.waiters = append(w.waiters[:i], w.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// handlePull long-polls for a task: 200 with a Task, or 204 after the poll
+// timeout. 410 tells an unknown (or declared-lost) worker to re-register.
+func (c *Coordinator) handlePull(w http.ResponseWriter, r *http.Request) {
+	var req pullRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	ctx := r.Context()
+	deadline := time.NewTimer(c.cfg.PollTimeout)
+	defer deadline.Stop()
+	for {
+		wire, wait, unknown := c.takeOrPark(req.Worker)
+		if unknown {
+			httpError(w, http.StatusGone, "unknown worker %q: re-register", req.Worker)
+			return
+		}
+		if wire != nil {
+			writeJSON(w, http.StatusOK, wire)
+			return
+		}
+		select {
+		case <-wait:
+			continue // work may be available; take again
+		case <-deadline.C:
+			c.dropWaiter(req.Worker, wait)
+			w.WriteHeader(http.StatusNoContent)
+			return
+		case <-ctx.Done():
+			c.dropWaiter(req.Worker, wait)
+			return
+		}
+	}
+}
+
+// handleHeartbeat renews the worker's liveness and the leases of the listed
+// in-flight tasks.
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req heartbeatRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	ws := c.workers[req.Worker]
+	if ws == nil || ws.gone {
+		c.mu.Unlock()
+		httpError(w, http.StatusGone, "unknown worker %q: re-register", req.Worker)
+		return
+	}
+	c.resetLivenessLocked(ws)
+	for _, id := range req.Tasks {
+		if t := c.tasks[id]; t != nil && t.state == taskInflight && t.owner == req.Worker {
+			c.renewLeaseLocked(t)
+		}
+	}
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+// handleResult acknowledges a finished task. Late or duplicate results (the
+// task completed elsewhere after a re-dispatch, or was abandoned) answer 200
+// and are dropped: outcomes are deterministic, so the first one delivered is
+// as good as any.
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	var req resultRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	var out taskOutcome
+	if req.Error != "" {
+		out.err = fmt.Errorf("cluster: worker %s: %s", req.Worker, req.Error)
+	} else if req.Result != nil {
+		out.res = *req.Result
+	} else {
+		httpError(w, http.StatusBadRequest, "result or error required")
+		return
+	}
+	c.mu.Lock()
+	if ws := c.workers[req.Worker]; ws != nil && !ws.gone {
+		c.resetLivenessLocked(ws)
+	}
+	var acts []action
+	if t := c.tasks[req.Task]; t != nil {
+		acts = c.completeLocked(t, out)
+	}
+	c.mu.Unlock()
+	c.perform(acts)
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+// handleStoreGet serves one stored result envelope to a worker's remote
+// tier. Misses are 404s; an unconfigured store endpoint always misses.
+func (c *Coordinator) handleStoreGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !store.ValidKey(key) {
+		httpError(w, http.StatusBadRequest, "malformed key %q", key)
+		return
+	}
+	if c.cfg.Cache == nil {
+		httpError(w, http.StatusNotFound, "no store configured")
+		return
+	}
+	res, ok := c.cfg.Cache.Get(key)
+	c.mu.Lock()
+	if ok {
+		c.storeGetHits++
+	} else {
+		c.storeGetMiss++
+	}
+	c.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no result for key %s", key)
+		return
+	}
+	data, err := store.Encode(res)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(data)
+}
+
+// handleStorePut accepts one result envelope from a worker, validating it
+// before it touches the cache: a corrupt envelope is the sender's bug and is
+// rejected, never stored.
+func (c *Coordinator) handleStorePut(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !store.ValidKey(key) {
+		httpError(w, http.StatusBadRequest, "malformed key %q", key)
+		return
+	}
+	if c.cfg.Cache == nil {
+		httpError(w, http.StatusNotFound, "no store configured")
+		return
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxEnvelopeBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	res, err := store.Decode(data)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	c.cfg.Cache.Put(key, res)
+	c.mu.Lock()
+	c.storePuts++
+	c.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// maxEnvelopeBytes bounds a PUT body; result envelopes are a few KB.
+const maxEnvelopeBytes = 32 << 20
+
+// decodeInto parses a JSON request body, answering 400 on malformed input.
+func decodeInto(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		httpError(w, http.StatusBadRequest, "malformed request: %v", err)
+		return false
+	}
+	return true
+}
+
+// writeJSON writes a JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// httpError writes a JSON error body.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -119,6 +119,12 @@ func StoreKey(job Job) (string, error) {
 	return store.Key(job.GPUConfig(), w, job.Opts)
 }
 
+// ExecFunc is the executor signature of the engine: one job run to
+// completion under a context. Execute is the local implementation; the
+// cluster coordinator's Execute method is the distributed one, and tests
+// substitute counting or stalling stubs.
+type ExecFunc = func(context.Context, Job) (sim.Result, error)
+
 // Cache is the pluggable second-tier result cache of a Runner: it is
 // consulted (by store key) before a job is executed and written through after
 // a successful execution. It is store.Cache by another name (an alias, so the
@@ -185,8 +191,9 @@ type Config struct {
 	// the per-simulation workers. Zero or negative means GOMAXPROCS.
 	MaxParallelism int
 	// Exec overrides the job executor (tests use this to count or stall
-	// executions). Nil means Execute.
-	Exec func(context.Context, Job) (sim.Result, error)
+	// executions; fuseserve's coordinator mode plugs in the cluster's
+	// fan-out executor). Nil means Execute.
+	Exec ExecFunc
 	// Progress, when non-nil, is called as each freshly executed job
 	// completes. Calls are serialised per batch; the callback must not
 	// block for long.

@@ -68,6 +68,14 @@ type Plan struct {
 	// PanicOn, when non-empty, makes the first execution of the job with
 	// this String() name panic — once. Retry must recover it.
 	PanicOn string
+
+	// KillAfter, when positive, fires the injector's kill hook (SetKill)
+	// on the KillAfter-th execution the injector sees — once — instead of
+	// running the job. The hook typically cancels the hosting worker's
+	// context, so cluster chaos tests can take a worker down at a
+	// deterministic point mid-batch and prove the re-dispatch path renders
+	// identical bytes. Ignored when no hook is set.
+	KillAfter int
 }
 
 // decide is the deterministic coin flip: true with probability prob for this
@@ -217,6 +225,8 @@ type InjectorStats struct {
 	Panics int64 `json:"panics"`
 	//fuselint:internalstat chaos-suite observability, read through Stats(), never a simulation stat
 	Executed int64 `json:"executed"`
+	//fuselint:internalstat chaos-suite observability, read through Stats(), never a simulation stat
+	Kills int64 `json:"kills"`
 }
 
 // Injector wraps a job executor with plan-driven faults: transient errors,
@@ -230,12 +240,40 @@ type Injector[J fmt.Stringer] struct {
 	mu       sync.Mutex
 	fails    map[string]int
 	panicked bool
+	killed   bool
+	seen     int // executions observed, for the KillAfter trigger
+	kill     func()
 	stats    InjectorStats
 }
 
 // NewInjector wraps inner with the plan's execution faults.
 func NewInjector[J fmt.Stringer](plan Plan, inner ExecFunc[J]) *Injector[J] {
 	return &Injector[J]{plan: plan, inner: inner, fails: make(map[string]int)}
+}
+
+// SetKill installs the kill hook Plan.KillAfter fires (e.g. the cancel
+// function of the hosting worker's context). Set it before executions start.
+func (in *Injector[J]) SetKill(hook func()) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.kill = hook
+}
+
+// takeKill consumes the one-shot kill trigger: it returns the hook exactly
+// once, on the KillAfter-th execution the injector sees.
+func (in *Injector[J]) takeKill() func() {
+	if in.plan.KillAfter <= 0 {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.seen++
+	if in.killed || in.kill == nil || in.seen != in.plan.KillAfter {
+		return nil
+	}
+	in.killed = true
+	in.stats.Kills++
+	return in.kill
 }
 
 // Stats returns a snapshot of the injected-fault counters.
@@ -292,6 +330,14 @@ func (in *Injector[J]) noteExec() {
 func (in *Injector[J]) Exec(ctx context.Context, job J) (sim.Result, error) {
 	name := job.String()
 	seq := in.seq.next(name)
+	if hook := in.takeKill(); hook != nil {
+		// The worker is "dying": fire the hook (which cancels our context)
+		// and go down with it instead of producing a result. The job's
+		// lease expires and another worker recomputes it.
+		hook()
+		<-ctx.Done() //fuselint:noctx this receive IS the ctx wait: the hook just cancelled us
+		return sim.Result{}, ctx.Err()
+	}
 	if in.shouldPanic(name) {
 		panic(fmt.Sprintf("fault: injected panic in %s", name))
 	}

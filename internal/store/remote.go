@@ -1,0 +1,182 @@
+package store
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"fuse/internal/sim"
+)
+
+// Remote is the network cache tier: a read-through client for a peer's (in
+// practice, the cluster coordinator's) result-store endpoint. Slotted as the
+// slowest tier of a Tiered composition it turns every node's disk into a
+// shared global cache — a worker that has never simulated a design point
+// still serves it warm if any node has.
+//
+// Remote follows the Cache contract that a broken tier behaves as empty:
+// transport errors, non-200 answers and corrupt envelopes are all misses.
+// Like the disk tier it meters consecutive failures and reports itself
+// Degraded at DegradedThreshold, so health endpoints (and the Tiered
+// composition's Degraded flag) surface a dead peer while the local tiers
+// keep serving.
+type Remote struct {
+	base   string // endpoint base, e.g. "http://coordinator" + cluster.PathStore
+	client *http.Client
+
+	mu         sync.Mutex
+	calls      map[string]*remoteCall // in-flight fetches, singleflighted per key
+	hits       int64
+	misses     int64
+	ioFailures int64 // consecutive; any successful exchange resets
+}
+
+// remoteCall is one in-flight fetch; concurrent Gets for the same key wait
+// on done instead of issuing duplicate requests.
+type remoteCall struct {
+	done chan struct{}
+	res  sim.Result
+	ok   bool
+}
+
+// NewRemote builds a remote tier fetching from base (the store endpoint URL
+// without the trailing "/{key}"). A nil client gets a default with a 5s
+// timeout — a remote tier must fail fast and fall through, never stall a
+// simulation pipeline behind a dead peer.
+func NewRemote(base string, client *http.Client) *Remote {
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	return &Remote{base: base, client: client, calls: make(map[string]*remoteCall)}
+}
+
+// Get implements Cache. Concurrent lookups of the same key share one HTTP
+// request (in-process singleflight); across processes the coordinator's
+// engine-level dedup plays the same role.
+func (r *Remote) Get(key string) (sim.Result, bool) {
+	r.mu.Lock()
+	if c := r.calls[key]; c != nil {
+		r.mu.Unlock()
+		<-c.done
+		r.note(c.ok)
+		return c.res, c.ok
+	}
+	c := &remoteCall{done: make(chan struct{})}
+	r.calls[key] = c
+	r.mu.Unlock()
+
+	c.res, c.ok = r.fetch(key)
+
+	r.mu.Lock()
+	delete(r.calls, key)
+	r.mu.Unlock()
+	close(c.done)
+	r.note(c.ok)
+	return c.res, c.ok
+}
+
+// note counts one Get outcome (every caller counts, shared fetch or not).
+func (r *Remote) note(hit bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if hit {
+		r.hits++
+	} else {
+		r.misses++
+	}
+}
+
+// fetch performs one GET. Every failure mode is a miss; only transport-level
+// trouble (unreachable peer, 5xx, corrupt envelope) counts toward the
+// degraded meter — a clean 404 is the peer working as designed.
+func (r *Remote) fetch(key string) (sim.Result, bool) {
+	resp, err := r.client.Get(r.base + "/" + key)
+	if err != nil {
+		r.fail()
+		return sim.Result{}, false
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		data, err := io.ReadAll(io.LimitReader(resp.Body, maxRemoteEnvelope))
+		if err != nil {
+			r.fail()
+			return sim.Result{}, false
+		}
+		res, err := Decode(data)
+		if err != nil {
+			// A peer handed us bytes it should never have stored: treat as
+			// a miss (the local pipeline recomputes) and as a failure (a
+			// corrupting peer is a degraded peer).
+			r.fail()
+			return sim.Result{}, false
+		}
+		r.succeed()
+		return res, true
+	case resp.StatusCode == http.StatusNotFound:
+		_, _ = io.Copy(io.Discard, resp.Body)
+		r.succeed()
+		return sim.Result{}, false
+	default:
+		_, _ = io.Copy(io.Discard, resp.Body)
+		r.fail()
+		return sim.Result{}, false
+	}
+}
+
+// Put implements Cache: best-effort write-through to the peer, so a result
+// computed here is visible fleet-wide. Failures only feed the meter.
+func (r *Remote) Put(key string, res sim.Result) {
+	data, err := Encode(res)
+	if err != nil {
+		return
+	}
+	req, err := http.NewRequest(http.MethodPut, r.base+"/"+key, bytes.NewReader(data))
+	if err != nil {
+		r.fail()
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		r.fail()
+		return
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		r.succeed()
+	} else {
+		r.fail()
+	}
+}
+
+func (r *Remote) fail() {
+	r.mu.Lock()
+	r.ioFailures++
+	r.mu.Unlock()
+}
+
+func (r *Remote) succeed() {
+	r.mu.Lock()
+	r.ioFailures = 0
+	r.mu.Unlock()
+}
+
+// Health implements HealthReporter.
+func (r *Remote) Health() Health {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Health{
+		Tier:       "remote",
+		Hits:       r.hits,
+		Misses:     r.misses,
+		IOFailures: r.ioFailures,
+		Degraded:   r.ioFailures >= DegradedThreshold,
+	}
+}
+
+// maxRemoteEnvelope bounds a fetched envelope; result envelopes are a few KB.
+const maxRemoteEnvelope = 32 << 20

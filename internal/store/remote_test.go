@@ -1,0 +1,256 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fuse/internal/sim"
+)
+
+// fakePeer is a minimal in-memory store endpoint: the coordinator's
+// /cluster/v1/store/{key} contract (GET envelope or 404, PUT envelope).
+type fakePeer struct {
+	mu      sync.Mutex
+	entries map[string][]byte
+	gets    atomic.Int64
+	puts    atomic.Int64
+	// corrupt serves garbage bytes for every GET hit; broken answers 500
+	// to everything.
+	corrupt bool
+	broken  atomic.Bool
+	// block, when non-nil, is closed to release GET handlers (for racing
+	// singleflight tests).
+	block chan struct{}
+}
+
+func newFakePeer() *fakePeer { return &fakePeer{entries: map[string][]byte{}} }
+
+func (p *fakePeer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if p.broken.Load() {
+		http.Error(w, "injected outage", http.StatusInternalServerError)
+		return
+	}
+	key := strings.TrimPrefix(r.URL.Path, "/")
+	switch r.Method {
+	case http.MethodGet:
+		p.gets.Add(1)
+		if p.block != nil {
+			<-p.block
+		}
+		p.mu.Lock()
+		data, ok := p.entries[key]
+		p.mu.Unlock()
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		if p.corrupt {
+			data = []byte("{ this is not an envelope")
+		}
+		_, _ = w.Write(data)
+	case http.MethodPut:
+		p.puts.Add(1)
+		buf, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		p.mu.Lock()
+		p.entries[key] = buf
+		p.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "method", http.StatusMethodNotAllowed)
+	}
+}
+
+func testResult(workload string) sim.Result {
+	return sim.Result{GPUName: "test-gpu", Workload: workload, Cycles: 12345, Instructions: 67890, IPC: 5.5}
+}
+
+func testKey(i int) string {
+	return fmt.Sprintf("%064x", i)
+}
+
+// TestRemoteReadThroughBackfill: a Tiered(memory, remote) composition that
+// misses locally fetches from the peer and backfills the memory tier, so
+// the second Get never touches the network.
+func TestRemoteReadThroughBackfill(t *testing.T) {
+	peer := newFakePeer()
+	srv := httptest.NewServer(peer)
+	defer srv.Close()
+
+	key, res := testKey(1), testResult("ATAX")
+	data, err := Encode(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer.entries[key] = data
+
+	remote := NewRemote(srv.URL, nil)
+	mem := NewMemory()
+	tiered := NewTiered(mem, remote)
+
+	got, ok := tiered.Get(key)
+	if !ok || got != res {
+		t.Fatalf("tiered Get through remote: ok=%v res=%+v", ok, got)
+	}
+	if n := peer.gets.Load(); n != 1 {
+		t.Fatalf("peer GETs = %d, want 1", n)
+	}
+	// Backfilled: the repeat hit is served by the memory tier.
+	if got, ok := tiered.Get(key); !ok || got != res {
+		t.Fatalf("repeat Get: ok=%v", ok)
+	}
+	if n := peer.gets.Load(); n != 1 {
+		t.Errorf("peer GETs after backfill = %d, want still 1 (memory tier should have served)", n)
+	}
+	if h := remote.Health(); h.Hits != 1 || h.Misses != 0 {
+		t.Errorf("remote health hits/misses = %d/%d, want 1/0", h.Hits, h.Misses)
+	}
+}
+
+// TestRemoteCorruptEnvelopeIsMiss: garbage bytes from a peer decode-fail
+// into a miss (never a wrong result, never a panic) and count toward the
+// degraded meter.
+func TestRemoteCorruptEnvelopeIsMiss(t *testing.T) {
+	peer := newFakePeer()
+	peer.corrupt = true
+	srv := httptest.NewServer(peer)
+	defer srv.Close()
+
+	key := testKey(2)
+	data, _ := Encode(testResult("GEMM"))
+	peer.entries[key] = data
+
+	remote := NewRemote(srv.URL, nil)
+	if _, ok := remote.Get(key); ok {
+		t.Fatalf("corrupt envelope reported as a hit")
+	}
+	h := remote.Health()
+	if h.Misses != 1 {
+		t.Errorf("Misses = %d, want 1", h.Misses)
+	}
+	if h.IOFailures == 0 {
+		t.Errorf("IOFailures = 0, want ≥ 1 (a corrupting peer is a degraded peer)")
+	}
+}
+
+// TestRemoteDegradedFallback: a dead peer makes every remote Get a miss and
+// trips Degraded after DegradedThreshold consecutive failures — while the
+// Tiered composition keeps serving from its local tiers, and a recovered
+// peer clears the flag.
+func TestRemoteDegradedFallback(t *testing.T) {
+	peer := newFakePeer()
+	srv := httptest.NewServer(peer)
+	defer srv.Close()
+
+	key, res := testKey(3), testResult("BICG")
+	remote := NewRemote(srv.URL, nil)
+	mem := NewMemory()
+	tiered := NewTiered(mem, remote)
+	mem.Put(key, res)
+
+	peer.broken.Store(true)
+	missKey := testKey(4)
+	for i := 0; i < DegradedThreshold; i++ {
+		if _, ok := remote.Get(missKey); ok {
+			t.Fatalf("broken peer reported a hit")
+		}
+	}
+	if h := remote.Health(); !h.Degraded {
+		t.Fatalf("remote not degraded after %d consecutive failures: %+v", DegradedThreshold, h)
+	}
+	if !tiered.Degraded() {
+		t.Errorf("tiered composition does not surface the degraded remote tier")
+	}
+	// Local tiers still serve.
+	if got, ok := tiered.Get(key); !ok || got != res {
+		t.Errorf("local tier stopped serving while the remote is down: ok=%v", ok)
+	}
+
+	// Peer recovery clears the meter on the next successful exchange.
+	peer.broken.Store(false)
+	data, _ := Encode(res)
+	peer.entries[key] = data
+	if _, ok := remote.Get(key); !ok {
+		t.Fatalf("recovered peer still missing")
+	}
+	if h := remote.Health(); h.Degraded || h.IOFailures != 0 {
+		t.Errorf("remote still degraded after recovery: %+v", h)
+	}
+}
+
+// TestRemoteSingleflight: concurrent Gets of the same key share one HTTP
+// request.
+func TestRemoteSingleflight(t *testing.T) {
+	peer := newFakePeer()
+	peer.block = make(chan struct{})
+	srv := httptest.NewServer(peer)
+	defer srv.Close()
+
+	key, res := testKey(5), testResult("MVT")
+	data, _ := Encode(res)
+	peer.entries[key] = data
+
+	remote := NewRemote(srv.URL, nil)
+	const racers = 8
+	var wg sync.WaitGroup
+	results := make([]sim.Result, racers)
+	oks := make([]bool, racers)
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], oks[i] = remote.Get(key)
+		}(i)
+	}
+	// Wait until the one real fetch is in the handler, give every racer
+	// ample time to join the in-flight call, then release it.
+	for peer.gets.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(peer.block)
+	wg.Wait()
+
+	for i := 0; i < racers; i++ {
+		if !oks[i] || results[i] != res {
+			t.Fatalf("racer %d: ok=%v", i, oks[i])
+		}
+	}
+	if n := peer.gets.Load(); n != 1 {
+		t.Errorf("peer GETs = %d, want 1 (singleflight should dedup)", n)
+	}
+	if h := remote.Health(); h.Hits != racers {
+		t.Errorf("Hits = %d, want %d (every caller counts)", h.Hits, racers)
+	}
+}
+
+// TestRemotePutWriteThrough: Put ships the envelope to the peer, and a
+// second Remote (another node) reads it back.
+func TestRemotePutWriteThrough(t *testing.T) {
+	peer := newFakePeer()
+	srv := httptest.NewServer(peer)
+	defer srv.Close()
+
+	key, res := testKey(6), testResult("GEMM")
+	nodeA := NewRemote(srv.URL, nil)
+	nodeA.Put(key, res)
+	if n := peer.puts.Load(); n != 1 {
+		t.Fatalf("peer PUTs = %d, want 1", n)
+	}
+
+	nodeB := NewRemote(srv.URL, nil)
+	got, ok := nodeB.Get(key)
+	if !ok || got != res {
+		t.Fatalf("node B Get after node A Put: ok=%v res=%+v", ok, got)
+	}
+}
